@@ -1,0 +1,176 @@
+#pragma once
+// Shared harness for the reproduction benches: single-shot cluster drivers
+// for TetraBFT and every baseline, plus table formatting. Each bench binary
+// regenerates one table or figure of the paper (see DESIGN.md §4) and
+// prints paper-reported values next to measured ones.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/it_hotstuff.hpp"
+#include "baselines/it_hotstuff_blog.hpp"
+#include "baselines/pbft.hpp"
+#include "core/node.hpp"
+#include "sim/adversary.hpp"
+#include "sim/runtime.hpp"
+
+namespace tbft::bench {
+
+struct RunOptions {
+  std::uint32_t n{4};
+  std::uint32_t f{1};
+  sim::SimTime delta_bound{10 * sim::kMillisecond};
+  sim::SimTime delta_actual{1 * sim::kMillisecond};
+  std::uint64_t seed{1};
+  bool silent_leader0{false};  // crash the view-0 leader to force a view change
+  bool pbft_unbounded{false};
+  sim::SimTime gst{0};
+  sim::AdversaryHook adversary{};
+};
+
+/// Adversary + GST combo that completes the prepare phase but suppresses the
+/// final-phase messages until GST: the view change then happens with full
+/// certificates (the worst case whose O(n)-sized messages Table 1's PBFT
+/// communication column is about).
+inline void drop_tag_until_gst(RunOptions& opts, std::uint8_t tag, sim::SimTime gst) {
+  opts.gst = gst;
+  opts.adversary = [tag, gst](const sim::Envelope& env,
+                              sim::SimTime at) -> std::optional<sim::DeliveryDecision> {
+    if (at < gst && !env.payload.empty() && env.payload.front() == tag) {
+      return sim::DeliveryDecision{.drop = true, .deliver_at = 0};
+    }
+    return std::nullopt;  // default stochastic model (constant delta)
+  };
+}
+
+struct RunResult {
+  bool decided{false};
+  sim::SimTime decide_time{0};     // first honest decision
+  sim::SimTime timeout{0};         // the protocol's view timeout
+  double hops{0};                  // decide_time / delta (good case)
+  double hops_past_timeout{0};     // (decide_time - timeout) / delta
+  std::uint64_t messages{0};
+  std::uint64_t bytes{0};
+  std::size_t storage_bytes{0};    // persistent bytes of a surviving node
+};
+
+namespace detail {
+
+template <class Node, class Config>
+RunResult run_cluster(const RunOptions& opts, Config cfg_template,
+                      sim::SimTime timeout_value) {
+  sim::SimConfig sc;
+  sc.seed = opts.seed;
+  sc.net.gst = opts.gst;
+  sc.net.delta_bound = opts.delta_bound;
+  sc.net.delta_actual = opts.delta_actual;
+  sc.net.delta_min = opts.delta_actual;
+  sc.net.pre_gst_drop_prob = 0.0;
+  sc.net.pre_gst_delay_min = opts.delta_actual;
+  sc.net.pre_gst_delay_max = opts.delta_actual;
+  sc.keep_message_trace = false;
+
+  sim::Simulation simulation(sc);
+  if (opts.adversary) simulation.network().set_adversary(opts.adversary);
+  std::vector<Node*> nodes;
+  for (NodeId i = 0; i < opts.n; ++i) {
+    if (opts.silent_leader0 && i == 0) {
+      nodes.push_back(nullptr);
+      simulation.add_node(std::make_unique<sim::SilentNode>());
+      continue;
+    }
+    Config cfg = cfg_template;
+    cfg.initial_value = Value{100 + i};
+    std::unique_ptr<Node> node;
+    if constexpr (std::is_same_v<Node, baselines::PbftNode>) {
+      node = std::make_unique<Node>(cfg, opts.pbft_unbounded);
+    } else {
+      node = std::make_unique<Node>(cfg);
+    }
+    nodes.push_back(node.get());
+    simulation.add_node(std::move(node));
+  }
+  simulation.start();
+
+  auto all_decided = [&] {
+    for (auto* n : nodes) {
+      if (n != nullptr && !n->decision()) return false;
+    }
+    return true;
+  };
+  const bool done = simulation.run_until_pred(all_decided, 600 * sim::kSecond);
+  simulation.run_until(simulation.now() + 2 * opts.delta_bound);  // drain in-flight
+
+  RunResult res;
+  res.decided = done;
+  res.timeout = timeout_value;
+  if (done) {
+    const NodeId probe = opts.silent_leader0 ? 1 : 0;
+    res.decide_time = simulation.trace().decision_of(probe)->at;
+    res.hops = static_cast<double>(res.decide_time) / static_cast<double>(opts.delta_actual);
+    res.hops_past_timeout = static_cast<double>(res.decide_time - timeout_value) /
+                            static_cast<double>(opts.delta_actual);
+  }
+  res.messages = simulation.trace().total_messages();
+  res.bytes = simulation.trace().total_bytes();
+  for (auto* n : nodes) {
+    if (n != nullptr) res.storage_bytes = n->persistent_bytes();
+  }
+  return res;
+}
+
+}  // namespace detail
+
+inline RunResult run_tetra(const RunOptions& opts) {
+  core::TetraConfig cfg;
+  cfg.n = opts.n;
+  cfg.f = opts.f;
+  cfg.delta_bound = opts.delta_bound;
+  return detail::run_cluster<core::TetraNode>(opts, cfg, cfg.view_timeout());
+}
+
+inline RunResult run_it_hotstuff(const RunOptions& opts) {
+  baselines::BaselineConfig cfg;
+  cfg.n = opts.n;
+  cfg.f = opts.f;
+  cfg.delta_bound = opts.delta_bound;
+  return detail::run_cluster<baselines::ItHotStuffNode>(opts, cfg, cfg.view_timeout());
+}
+
+inline RunResult run_it_hotstuff_blog(const RunOptions& opts) {
+  baselines::BaselineConfig cfg;
+  cfg.n = opts.n;
+  cfg.f = opts.f;
+  cfg.delta_bound = opts.delta_bound;
+  return detail::run_cluster<baselines::ItHotStuffBlogNode>(opts, cfg, cfg.view_timeout());
+}
+
+inline RunResult run_pbft(const RunOptions& opts) {
+  baselines::BaselineConfig cfg;
+  cfg.n = opts.n;
+  cfg.f = opts.f;
+  cfg.delta_bound = opts.delta_bound;
+  return detail::run_cluster<baselines::PbftNode>(opts, cfg, cfg.view_timeout());
+}
+
+/// Log-log slope of y against n between the first and last sample: ~1 for
+/// linear growth, ~2 quadratic, ~3 cubic.
+inline double fitted_exponent(const std::vector<std::pair<double, double>>& samples) {
+  if (samples.size() < 2) return 0.0;
+  const auto& [x0, y0] = samples.front();
+  const auto& [x1, y1] = samples.back();
+  if (y0 <= 0 || y1 <= 0) return 0.0;
+  return (std::log(y1) - std::log(y0)) / (std::log(x1) - std::log(x0));
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace tbft::bench

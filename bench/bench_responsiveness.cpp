@@ -1,0 +1,45 @@
+// Ablation A-responsive (§1.2 of the paper): optimistic responsiveness in
+// numbers. Once the network is synchronous with actual delay delta, a
+// responsive protocol recovers from a view change in time proportional to
+// delta; a non-responsive one pays a Delta-proportional wait regardless of
+// how fast the network really is. The paper argues this is why TetraBFT
+// (and IT-HS) accept a latency handicap against the non-responsive blog
+// version's 4 delays.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tbft::bench;
+
+  print_header(
+      "Responsiveness -- view-change recovery time past the view timer\n"
+      "(silent view-0 leader; Delta = 10ms fixed; actual delay delta swept)");
+
+  std::printf("%12s %14s %14s %18s\n", "delta (ms)", "TetraBFT (ms)", "IT-HS (ms)",
+              "IT-HS blog (ms)");
+  for (const double delta_ms : {0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    RunOptions opts;
+    opts.silent_leader0 = true;
+    opts.delta_actual = static_cast<tbft::sim::SimTime>(delta_ms * tbft::sim::kMillisecond);
+
+    const auto tetra = run_tetra(opts);
+    const auto iths = run_it_hotstuff(opts);
+    const auto blog = run_it_hotstuff_blog(opts);
+    auto extra_ms = [](const RunResult& r) {
+      return static_cast<double>(r.decide_time - r.timeout) / tbft::sim::kMillisecond;
+    };
+    std::printf("%12.1f %14.2f %14.2f %18.2f\n", delta_ms, extra_ms(tetra), extra_ms(iths),
+                extra_ms(blog));
+  }
+
+  std::printf(
+      "\nreading: TetraBFT recovers in 7*delta and IT-HS in 9*delta -- both\n"
+      "straight lines through the origin (optimistic responsiveness). The\n"
+      "blog version is pinned above 2*Delta = 20ms no matter how fast the\n"
+      "network is; at delta = Delta all three converge to the same order.\n"
+      "This is the paper's practical argument (§1.2): with conservative\n"
+      "Delta, non-responsive view changes stall pipelines and build backlogs.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation A-scaling: the complexity claims of Table 1 as raw curves.
+//  - communicated bytes and messages per decision vs n (expect ~n^2 for
+//    TetraBFT in both the good case and the view-change case);
+//  - per-node sent bytes (expect linear in n: "each node sends and receives
+//    a linear number of bits", §1);
+//  - persistent storage vs number of views survived (expect flat).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/node.hpp"
+
+int main() {
+  using namespace tbft::bench;
+  using namespace tbft;
+
+  print_header("TetraBFT communication scaling (good case / with view change)");
+  std::printf("%6s %14s %12s %16s %14s\n", "n", "bytes(good)", "msgs(good)", "bytes(vc)",
+              "per-node B/n");
+  std::vector<std::pair<double, double>> good_curve, vc_curve;
+  for (std::uint32_t n : {4u, 7u, 10u, 13u, 19u, 25u, 31u}) {
+    RunOptions opts;
+    opts.n = n;
+    opts.f = (n - 1) / 3;
+    const auto g = run_tetra(opts);
+    opts.silent_leader0 = true;
+    const auto v = run_tetra(opts);
+    good_curve.emplace_back(n, static_cast<double>(g.bytes));
+    vc_curve.emplace_back(n, static_cast<double>(v.bytes));
+    std::printf("%6u %14llu %12llu %16llu %14.1f\n", n,
+                static_cast<unsigned long long>(g.bytes),
+                static_cast<unsigned long long>(g.messages),
+                static_cast<unsigned long long>(v.bytes),
+                static_cast<double>(g.bytes) / n);
+  }
+  std::printf("\nfitted exponent: good case n^%.2f, view change n^%.2f (paper: O(n^2))\n",
+              fitted_exponent(good_curve), fitted_exponent(vc_curve));
+
+  print_header("TetraBFT persistent storage vs views survived (constant-storage claim)");
+  std::printf("%16s %18s\n", "views survived", "persistent bytes");
+  for (std::uint32_t silent_prefix : {0u, 1u, 2u}) {
+    // Crash the first `silent_prefix` leaders so the decision lands in a
+    // later view; storage must not grow with the number of views.
+    sim::SimConfig sc;
+    sc.net.delta_bound = 10 * sim::kMillisecond;
+    sc.net.delta_actual = 1 * sim::kMillisecond;
+    sc.net.delta_min = sc.net.delta_actual;
+    sc.keep_message_trace = false;
+    sim::Simulation simulation(sc);
+    std::vector<core::TetraNode*> nodes;
+    const std::uint32_t n = 7;
+    for (NodeId i = 0; i < n; ++i) {
+      if (i < silent_prefix) {
+        simulation.add_node(std::make_unique<sim::SilentNode>());
+        nodes.push_back(nullptr);
+        continue;
+      }
+      core::TetraConfig cfg;
+      cfg.n = n;
+      cfg.f = 2;
+      cfg.delta_bound = sc.net.delta_bound;
+      cfg.initial_value = Value{100 + i};
+      auto node = std::make_unique<core::TetraNode>(cfg);
+      nodes.push_back(node.get());
+      simulation.add_node(std::move(node));
+    }
+    simulation.start();
+    simulation.run_until_pred(
+        [&] {
+          for (auto* nd : nodes) {
+            if (nd != nullptr && !nd->decision()) return false;
+          }
+          return true;
+        },
+        600 * sim::kSecond);
+    std::size_t storage = 0;
+    View final_view = 0;
+    for (auto* nd : nodes) {
+      if (nd != nullptr) {
+        storage = nd->persistent_bytes();
+        final_view = std::max(final_view, nd->current_view());
+      }
+    }
+    std::printf("%16lld %18zu\n", static_cast<long long>(final_view + 1), storage);
+  }
+  std::printf("\n(flat: the VoteRecord keeps 6 vote references regardless of views)\n");
+  return 0;
+}

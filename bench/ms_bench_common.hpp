@@ -1,0 +1,70 @@
+#pragma once
+// Multi-shot bench harness shared by bench_fig2 and bench_fig3.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "multishot/node.hpp"
+#include "sim/adversary.hpp"
+#include "sim/runtime.hpp"
+
+namespace tbft::bench {
+
+struct MsRunOptions {
+  std::uint32_t n{4};
+  std::uint32_t f{1};
+  sim::SimTime delta_bound{10 * sim::kMillisecond};
+  sim::SimTime delta_actual{1 * sim::kMillisecond};
+  std::uint64_t seed{1};
+  Slot max_slots{30};
+  std::function<std::unique_ptr<sim::ProtocolNode>(NodeId, const multishot::MultishotConfig&)>
+      make_node{};
+};
+
+struct MsCluster {
+  std::unique_ptr<sim::Simulation> sim;
+  std::vector<multishot::MultishotNode*> nodes;
+  multishot::MultishotConfig cfg;
+
+  [[nodiscard]] std::size_t min_finalized() const {
+    std::size_t len = SIZE_MAX;
+    for (const auto* n : nodes) {
+      if (n != nullptr) len = std::min(len, n->finalized_chain().size());
+    }
+    return len == SIZE_MAX ? 0 : len;
+  }
+
+  bool run_until_finalized(std::size_t target, sim::SimTime deadline) {
+    return sim->run_until_pred([this, target] { return min_finalized() >= target; }, deadline);
+  }
+};
+
+inline MsCluster make_ms_bench_cluster(const MsRunOptions& opts) {
+  sim::SimConfig sc;
+  sc.seed = opts.seed;
+  sc.net.gst = 0;
+  sc.net.delta_bound = opts.delta_bound;
+  sc.net.delta_actual = opts.delta_actual;
+  sc.net.delta_min = opts.delta_actual;
+
+  MsCluster c;
+  c.cfg.n = opts.n;
+  c.cfg.f = opts.f;
+  c.cfg.delta_bound = opts.delta_bound;
+  c.cfg.max_slots = opts.max_slots;
+  c.sim = std::make_unique<sim::Simulation>(sc);
+  for (NodeId i = 0; i < opts.n; ++i) {
+    std::unique_ptr<sim::ProtocolNode> node;
+    if (opts.make_node) node = opts.make_node(i, c.cfg);
+    if (!node) node = std::make_unique<multishot::MultishotNode>(c.cfg);
+    auto* ms = dynamic_cast<multishot::MultishotNode*>(node.get());
+    if (ms != nullptr) ms->set_record_timeline(true);
+    c.nodes.push_back(ms);
+    c.sim->add_node(std::move(node));
+  }
+  c.sim->start();
+  return c;
+}
+
+}  // namespace tbft::bench

@@ -1,0 +1,84 @@
+// Blockchain demo: pipelined multi-shot TetraBFT (paper §6) building a
+// chain of blocks, one notarization per message delay, with client
+// transactions flowing into blocks and out as finalized state.
+//
+//   ./build/examples/blockchain_demo
+
+#include <cstdio>
+#include <string>
+
+#include "multishot/node.hpp"
+#include "sim/runtime.hpp"
+
+using namespace tbft;
+
+int main() {
+  sim::SimConfig sc;
+  sc.net.delta_actual = 1 * sim::kMillisecond;
+  sc.net.delta_bound = 10 * sim::kMillisecond;
+  sim::Simulation simulation(sc);
+
+  multishot::MultishotConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.delta_bound = sc.net.delta_bound;
+  cfg.max_slots = 20;
+
+  std::vector<multishot::MultishotNode*> nodes;
+  for (NodeId i = 0; i < cfg.n; ++i) {
+    auto node = std::make_unique<multishot::MultishotNode>(cfg);
+    nodes.push_back(node.get());
+    simulation.add_node(std::move(node));
+  }
+
+  // Submit a few "transactions" to every node before the run; whichever
+  // leader proposes next includes them.
+  const std::vector<std::string> txs = {"alice->bob:10", "bob->carol:4", "carol->dave:1"};
+  for (auto* node : nodes) {
+    for (const auto& tx : txs) {
+      node->submit_tx({tx.begin(), tx.end()});
+    }
+  }
+
+  simulation.start();
+  simulation.run_until_pred(
+      [&] {
+        for (auto* n : nodes) {
+          if (n->finalized_chain().size() < 12) return false;
+        }
+        return true;
+      },
+      10 * sim::kSecond);
+
+  const auto& chain = nodes[0]->finalized_chain();
+  std::printf("finalized chain at node 0 (%zu blocks):\n", chain.size());
+  for (const auto& b : chain) {
+    std::printf("  slot %2llu  proposer %u  payload %3zu B  hash %016llx  parent %016llx\n",
+                static_cast<unsigned long long>(b.slot), b.proposer, b.payload.size(),
+                static_cast<unsigned long long>(b.hash()),
+                static_cast<unsigned long long>(b.parent_hash));
+  }
+
+  std::printf("\ntransaction inclusion:\n");
+  for (const auto& tx : txs) {
+    const std::vector<std::uint8_t> bytes(tx.begin(), tx.end());
+    bool everywhere = true;
+    for (auto* n : nodes) everywhere = everywhere && n->tx_finalized(bytes);
+    std::printf("  %-16s %s\n", tx.c_str(),
+                everywhere ? "finalized on every node" : "NOT finalized everywhere");
+  }
+
+  // Consistency check across nodes (Definition 2 of the paper).
+  bool consistent = true;
+  for (auto* n : nodes) {
+    const auto& other = n->finalized_chain();
+    for (std::size_t i = 0; i < std::min(chain.size(), other.size()); ++i) {
+      if (!(chain[i] == other[i])) consistent = false;
+    }
+  }
+  std::printf("\nchains prefix-consistent across all nodes: %s\n", consistent ? "yes" : "NO");
+  std::printf("throughput: %zu blocks in %lld ms of simulated time (1 block per delay)\n",
+              chain.size(), simulation.trace().decision_of(0, chain.size())->at /
+                                sim::kMillisecond);
+  return 0;
+}

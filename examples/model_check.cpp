@@ -1,0 +1,41 @@
+// Model checking from the command line: exhaustively explore the abstract
+// TetraBFT spec (the C++ port of the paper's Appendix-B TLA+ model) within
+// given bounds and report the verdict.
+//
+//   ./build/examples/model_check [rounds] [values] [n] [f]
+//   ./build/examples/model_check 2 3          # 4 nodes, 1 Byz, 2 rounds, 3 values
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "checker/explorer.hpp"
+
+using namespace tbft::checker;
+
+int main(int argc, char** argv) {
+  SpecConfig cfg;
+  cfg.rounds = argc > 1 ? std::atoi(argv[1]) : 2;
+  cfg.values = argc > 2 ? std::atoi(argv[2]) : 2;
+  cfg.n = argc > 3 ? std::atoi(argv[3]) : 4;
+  cfg.f = argc > 4 ? std::atoi(argv[4]) : (cfg.n - 1) / 3;
+  cfg.byz = cfg.f;
+
+  std::printf("model checking TetraBFT: n=%d f=%d byz=%d rounds=%d values=%d\n", cfg.n, cfg.f,
+              cfg.byz, cfg.rounds, cfg.values);
+  std::printf("properties: Consistency, NoFutureVote, OneValuePerPhasePerRound,\n");
+  std::printf("            VoteHasQuorumInPreviousPhase\n\n");
+
+  const auto res = explore_bfs(Spec(cfg), 8'000'000);
+  std::printf("states explored: %llu (canonical, after symmetry reduction)\n",
+              static_cast<unsigned long long>(res.states));
+  std::printf("transitions:     %llu\n", static_cast<unsigned long long>(res.transitions));
+  std::printf("max depth:       %d\n", res.max_depth);
+  if (res.violation) {
+    std::printf("\nVIOLATION of %s found!\n", res.violated_property.c_str());
+    return 1;
+  }
+  std::printf("\n%s within these bounds.\n",
+              res.capped ? "no violation found (state cap reached before exhaustion)"
+                         : "all properties hold in every reachable state");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: run single-shot TetraBFT among four simulated nodes (one
+// fault budget) and watch them decide the leader's value in exactly five
+// message delays.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/node.hpp"
+#include "sim/runtime.hpp"
+
+using namespace tbft;
+
+int main() {
+  // 1. A simulated partially-synchronous network: synchronous from the
+  //    start (GST = 0), actual delay 1ms, known bound Delta = 10ms.
+  sim::SimConfig sc;
+  sc.net.gst = 0;
+  sc.net.delta_actual = 1 * sim::kMillisecond;
+  sc.net.delta_bound = 10 * sim::kMillisecond;
+  sim::Simulation simulation(sc);
+
+  // 2. Four TetraBFT nodes; node i proposes value 100+i when it leads.
+  //    Round-robin leadership makes node 0 the view-0 leader.
+  std::vector<core::TetraNode*> nodes;
+  for (NodeId i = 0; i < 4; ++i) {
+    core::TetraConfig cfg;
+    cfg.n = 4;
+    cfg.f = 1;
+    cfg.delta_bound = sc.net.delta_bound;
+    cfg.initial_value = Value{100 + i};
+    auto node = std::make_unique<core::TetraNode>(cfg);
+    nodes.push_back(node.get());
+    simulation.add_node(std::move(node));
+  }
+
+  // 3. Run until everyone decided.
+  simulation.start();
+  const bool done = simulation.run_until_pred(
+      [&] {
+        for (auto* n : nodes) {
+          if (!n->decision()) return false;
+        }
+        return true;
+      },
+      sim::kSecond);
+
+  if (!done) {
+    std::printf("no decision within the deadline -- this should not happen\n");
+    return 1;
+  }
+
+  std::printf("all four nodes decided:\n");
+  for (NodeId i = 0; i < 4; ++i) {
+    const auto d = simulation.trace().decision_of(i);
+    std::printf("  node %u -> value %llu at t = %lld us (= %lld message delays)\n", i,
+                static_cast<unsigned long long>(nodes[i]->decision()->id), d->at,
+                d->at / sc.net.delta_actual);
+  }
+  std::printf("\nproposal + vote-1..vote-4 = 5 message delays (paper Table 1),\n");
+  std::printf("%llu network messages, %llu bytes, no signatures anywhere.\n",
+              static_cast<unsigned long long>(simulation.trace().total_messages()),
+              static_cast<unsigned long long>(simulation.trace().total_bytes()));
+  return 0;
+}

@@ -1,0 +1,207 @@
+#include "baselines/it_hotstuff.hpp"
+
+#include <map>
+#include <set>
+
+#include "common/serde.hpp"
+
+namespace tbft::baselines {
+
+namespace {
+
+serde::Writer tagged(ItMsg tag) {
+  serde::Writer w;
+  w.u8(static_cast<std::uint8_t>(tag));
+  return w;
+}
+
+}  // namespace
+
+void ItHotStuffNode::on_start() {
+  decide_claimed_.assign(cfg_.n, false);
+  vc_.reset(cfg_.n);
+  view_ = -1;
+  enter_view(0);
+}
+
+void ItHotStuffNode::enter_view(View v) {
+  view_ = v;
+  proposal_.reset();
+  proposed_ = false;
+  sent_ = {};
+  for (auto& t : tally_) t.reset(cfg_.n);
+  statuses_.assign(cfg_.n, std::nullopt);
+  if (timer_ != 0) ctx().cancel_timer(timer_);
+  timer_ = ctx().set_timer(cfg_.view_timeout());
+
+  if (v > 0 && cfg_.leader_of(v) == ctx().id()) {
+    // Responsive view change: the new leader *requests* statuses and acts as
+    // soon as a quorum arrives (no Delta-proportional wait).
+    auto w = tagged(ItMsg::Request);
+    w.i64(v);
+    ctx().broadcast(w.take());
+  }
+  if (v == 0) try_propose();
+}
+
+void ItHotStuffNode::try_propose() {
+  if (cfg_.leader_of(view_) != ctx().id() || proposed_) return;
+  std::optional<Value> value;
+  if (view_ == 0) {
+    value = cfg_.initial_value;
+  } else {
+    // Pick the value of the highest reported lock among a quorum of
+    // statuses; unconstrained if nobody is locked.
+    std::size_t have = 0;
+    VoteRef best_lock;
+    for (const auto& st : statuses_) {
+      if (!st) continue;
+      ++have;
+      if (st->first.present() && (!best_lock.present() || st->first.view > best_lock.view)) {
+        best_lock = st->first;
+      }
+    }
+    if (!qp_.is_quorum(have)) return;
+    value = best_lock.present() ? best_lock.value : cfg_.initial_value;
+  }
+  proposed_ = true;
+  auto w = tagged(ItMsg::Proposal);
+  w.i64(view_);
+  w.u64(value->id);
+  ctx().broadcast(w.take());
+}
+
+bool ItHotStuffNode::value_safe_to_echo(Value value) const {
+  if (!lock_.present()) return true;
+  if (lock_.value == value) return true;
+  // Unlock rule: a blocking set reports a key1 at-or-above my lock's view
+  // for this value -- evidence a quorum echoed it after I locked.
+  std::size_t support = 0;
+  for (const auto& st : statuses_) {
+    if (st && st->second.present() && st->second.view >= lock_.view &&
+        st->second.value == value) {
+      ++support;
+    }
+  }
+  return qp_.is_blocking(support);
+}
+
+void ItHotStuffNode::try_echo() {
+  if (sent_[kEcho - 1] || !proposal_) return;
+  if (view_ > 0 && !value_safe_to_echo(*proposal_)) return;
+  send_phase(kEcho, *proposal_);
+}
+
+void ItHotStuffNode::send_phase(int phase, Value value) {
+  sent_[phase - 1] = true;
+  if (phase == kKey1) key1_ = VoteRef{view_, value};
+  if (phase == kLock) lock_ = VoteRef{view_, value};
+  auto w = tagged(ItMsg::Phase);
+  w.u8(static_cast<std::uint8_t>(phase));
+  w.i64(view_);
+  w.u64(value.id);
+  ctx().broadcast(w.take());
+}
+
+void ItHotStuffNode::decide(Value value) {
+  if (decision_) return;
+  decision_ = value;
+  ctx().report_decision(0, value);
+}
+
+void ItHotStuffNode::initiate_view_change(View target) {
+  highest_vc_sent_ = std::max(highest_vc_sent_, target);
+  auto w = tagged(ItMsg::ViewChange);
+  w.i64(target);
+  ctx().broadcast(w.take());
+}
+
+void ItHotStuffNode::on_timer(sim::TimerId id) {
+  if (id != timer_ || decision_) return;
+  initiate_view_change(std::max(view_ + 1, highest_vc_sent_));
+  timer_ = ctx().set_timer(cfg_.view_timeout());
+}
+
+void ItHotStuffNode::on_message(NodeId from, std::span<const std::uint8_t> payload) {
+  serde::Reader r(payload);
+  const auto tag = static_cast<ItMsg>(r.u8());
+  if (!r.ok()) return;
+
+  switch (tag) {
+    case ItMsg::Proposal: {
+      const View v = r.i64();
+      const Value value{r.u64()};
+      if (!r.done() || v != view_ || from != cfg_.leader_of(view_) || proposal_) return;
+      proposal_ = value;
+      try_echo();
+      return;
+    }
+    case ItMsg::Phase: {
+      const int phase = r.u8();
+      const View v = r.i64();
+      const Value value{r.u64()};
+      if (!r.done() || phase < 1 || phase > kPhases || v != view_) return;
+      if (!tally_[phase - 1].record(from, value)) return;
+      if (!qp_.is_quorum(tally_[phase - 1].count(value))) return;
+      if (phase < kPhases) {
+        if (!sent_[phase]) send_phase(phase + 1, value);
+      } else {
+        decide(value);
+      }
+      return;
+    }
+    case ItMsg::Request: {
+      const View v = r.i64();
+      if (!r.done() || v != view_ || from != cfg_.leader_of(view_)) return;
+      auto w = tagged(ItMsg::Status);
+      w.i64(view_);
+      lock_.encode(w);
+      key1_.encode(w);
+      // Status goes to the leader and to everyone else (the "proof" side of
+      // IT-HS: followers verify the unlock rule from the same evidence).
+      ctx().broadcast(w.take());
+      return;
+    }
+    case ItMsg::Status: {
+      const View v = r.i64();
+      const VoteRef lock = VoteRef::decode(r);
+      const VoteRef key1 = VoteRef::decode(r);
+      if (!r.done() || v != view_) return;
+      if (statuses_[from]) return;
+      statuses_[from] = std::make_pair(lock, key1);
+      try_propose();
+      try_echo();
+      return;
+    }
+    case ItMsg::ViewChange: {
+      const View v = r.i64();
+      if (!r.done() || v < 1) return;
+      if (decision_ && from != ctx().id()) {
+        auto w = tagged(ItMsg::Decide);
+        w.u64(decision_->id);
+        ctx().send(from, w.take());
+      }
+      if (!vc_.observe(from, v)) return;
+      const View echo_target = vc_.kth_highest(qp_.blocking_size());
+      if (echo_target > highest_vc_sent_ && echo_target > view_) {
+        initiate_view_change(echo_target);
+      }
+      const View enter_target = vc_.kth_highest(qp_.quorum_size());
+      if (enter_target > view_) enter_view(enter_target);
+      return;
+    }
+    case ItMsg::Decide: {
+      const Value value{r.u64()};
+      if (!r.done() || decision_ || decide_claimed_[from]) return;
+      decide_claimed_[from] = true;
+      auto& claimers = decide_claims_[value];
+      claimers.insert(from);
+      if (qp_.is_blocking(claimers.size())) decide(value);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace tbft::baselines

@@ -1,0 +1,194 @@
+#include "baselines/it_hotstuff_blog.hpp"
+
+#include "common/serde.hpp"
+
+namespace tbft::baselines {
+
+namespace {
+serde::Writer tagged(BlogMsg tag) {
+  serde::Writer w;
+  w.u8(static_cast<std::uint8_t>(tag));
+  return w;
+}
+}  // namespace
+
+void ItHotStuffBlogNode::on_start() {
+  decide_claimed_.assign(cfg_.n, false);
+  vc_.reset(cfg_.n);
+  view_ = -1;
+  enter_view(0);
+}
+
+void ItHotStuffBlogNode::enter_view(View v) {
+  view_ = v;
+  proposal_.reset();
+  proposed_ = false;
+  sent_ = {};
+  for (auto& t : tally_) t.reset(cfg_.n);
+  suggests_.assign(cfg_.n, std::nullopt);
+  if (view_timer_ != 0) ctx().cancel_timer(view_timer_);
+  view_timer_ = ctx().set_timer(cfg_.view_timeout());
+
+  if (v == 0) {
+    if (cfg_.leader_of(0) == ctx().id()) {
+      proposed_ = true;
+      auto w = tagged(BlogMsg::Proposal);
+      w.i64(0);
+      w.u64(cfg_.initial_value.id);
+      ctx().broadcast(w.take());
+    }
+    return;
+  }
+
+  // Every node sends its suggest to the new leader immediately...
+  auto w = tagged(BlogMsg::Suggest);
+  w.i64(v);
+  lock_.encode(w);
+  key_.encode(w);
+  ctx().broadcast(w.take());  // broadcast so followers can check the unlock rule
+
+  // ...but the non-responsive leader cannot act on a quorum: it must wait
+  // out 2*Delta so that every well-behaved suggest has arrived.
+  if (cfg_.leader_of(v) == ctx().id()) {
+    propose_timer_ = ctx().set_timer(2 * cfg_.delta_bound);
+  }
+}
+
+void ItHotStuffBlogNode::propose_after_wait() {
+  if (proposed_ || cfg_.leader_of(view_) != ctx().id()) return;
+  VoteRef best_lock;
+  for (const auto& s : suggests_) {
+    if (s && s->first.present() && (!best_lock.present() || s->first.view > best_lock.view)) {
+      best_lock = s->first;
+    }
+  }
+  proposed_ = true;
+  const Value value = best_lock.present() ? best_lock.value : cfg_.initial_value;
+  auto w = tagged(BlogMsg::Proposal);
+  w.i64(view_);
+  w.u64(value.id);
+  ctx().broadcast(w.take());
+}
+
+void ItHotStuffBlogNode::try_echo() {
+  if (sent_[kEcho - 1] || !proposal_) return;
+  if (view_ > 0 && lock_.present() && !(lock_.value == *proposal_)) {
+    // Unlock rule: f+1 suggests report an echo at-or-above my lock's view
+    // for the proposed value.
+    std::size_t support = 0;
+    for (const auto& s : suggests_) {
+      if (s && s->second.present() && s->second.view >= lock_.view &&
+          s->second.value == *proposal_) {
+        ++support;
+      }
+    }
+    if (!qp_.is_blocking(support)) return;
+  }
+  send_phase(kEcho, *proposal_);
+}
+
+void ItHotStuffBlogNode::send_phase(int phase, Value value) {
+  sent_[phase - 1] = true;
+  if (phase == kEcho) key_ = VoteRef{view_, value};
+  if (phase == kLock) lock_ = VoteRef{view_, value};
+  auto w = tagged(BlogMsg::Phase);
+  w.u8(static_cast<std::uint8_t>(phase));
+  w.i64(view_);
+  w.u64(value.id);
+  ctx().broadcast(w.take());
+}
+
+void ItHotStuffBlogNode::decide(Value value) {
+  if (decision_) return;
+  decision_ = value;
+  ctx().report_decision(0, value);
+}
+
+void ItHotStuffBlogNode::initiate_view_change(View target) {
+  highest_vc_sent_ = std::max(highest_vc_sent_, target);
+  auto w = tagged(BlogMsg::ViewChange);
+  w.i64(target);
+  ctx().broadcast(w.take());
+}
+
+void ItHotStuffBlogNode::on_timer(sim::TimerId id) {
+  if (id == propose_timer_) {
+    propose_timer_ = 0;
+    propose_after_wait();
+    return;
+  }
+  if (id != view_timer_ || decision_) return;
+  initiate_view_change(std::max(view_ + 1, highest_vc_sent_));
+  view_timer_ = ctx().set_timer(cfg_.view_timeout());
+}
+
+void ItHotStuffBlogNode::on_message(NodeId from, std::span<const std::uint8_t> payload) {
+  serde::Reader r(payload);
+  const auto tag = static_cast<BlogMsg>(r.u8());
+  if (!r.ok()) return;
+
+  switch (tag) {
+    case BlogMsg::Proposal: {
+      const View v = r.i64();
+      const Value value{r.u64()};
+      if (!r.done() || v != view_ || from != cfg_.leader_of(view_) || proposal_) return;
+      proposal_ = value;
+      try_echo();
+      return;
+    }
+    case BlogMsg::Phase: {
+      const int phase = r.u8();
+      const View v = r.i64();
+      const Value value{r.u64()};
+      if (!r.done() || phase < 1 || phase > kPhases || v != view_) return;
+      if (!tally_[phase - 1].record(from, value)) return;
+      if (!qp_.is_quorum(tally_[phase - 1].count(value))) return;
+      if (phase < kPhases) {
+        if (!sent_[phase]) send_phase(phase + 1, value);
+      } else {
+        decide(value);
+      }
+      return;
+    }
+    case BlogMsg::Suggest: {
+      const View v = r.i64();
+      const VoteRef lock = VoteRef::decode(r);
+      const VoteRef key = VoteRef::decode(r);
+      if (!r.done() || v != view_) return;
+      if (suggests_[from]) return;
+      suggests_[from] = std::make_pair(lock, key);
+      try_echo();
+      return;
+    }
+    case BlogMsg::ViewChange: {
+      const View v = r.i64();
+      if (!r.done() || v < 1) return;
+      if (decision_ && from != ctx().id()) {
+        auto w = tagged(BlogMsg::Decide);
+        w.u64(decision_->id);
+        ctx().send(from, w.take());
+      }
+      if (!vc_.observe(from, v)) return;
+      const View echo_target = vc_.kth_highest(qp_.blocking_size());
+      if (echo_target > highest_vc_sent_ && echo_target > view_) {
+        initiate_view_change(echo_target);
+      }
+      const View enter_target = vc_.kth_highest(qp_.quorum_size());
+      if (enter_target > view_) enter_view(enter_target);
+      return;
+    }
+    case BlogMsg::Decide: {
+      const Value value{r.u64()};
+      if (!r.done() || decision_ || decide_claimed_[from]) return;
+      decide_claimed_[from] = true;
+      auto& claimers = decide_claims_[value];
+      claimers.insert(from);
+      if (qp_.is_blocking(claimers.size())) decide(value);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace tbft::baselines

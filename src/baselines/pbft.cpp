@@ -1,0 +1,228 @@
+#include "baselines/pbft.hpp"
+
+#include "common/serde.hpp"
+
+namespace tbft::baselines {
+
+namespace {
+serde::Writer tagged(PbftMsg tag) {
+  serde::Writer w;
+  w.u8(static_cast<std::uint8_t>(tag));
+  return w;
+}
+}  // namespace
+
+void PbftNode::on_start() {
+  decide_claimed_.assign(cfg_.n, false);
+  reported_.assign(cfg_.n, std::nullopt);
+  acked_.assign(cfg_.n, kNoView);
+  vc_.reset(cfg_.n);
+  view_ = -1;
+  enter_view(0);
+}
+
+void PbftNode::enter_view(View v) {
+  view_ = v;
+  pre_prepare_.reset();
+  sent_prepare_ = false;
+  sent_commit_ = false;
+  sent_new_view_ = false;
+  prepares_.reset(cfg_.n);
+  commits_.reset(cfg_.n);
+  if (timer_ != 0) ctx().cancel_timer(timer_);
+  timer_ = ctx().set_timer(cfg_.view_timeout());
+
+  if (v == 0) {
+    if (cfg_.leader_of(0) == ctx().id()) {
+      auto w = tagged(PbftMsg::PrePrepare);
+      w.i64(0);
+      w.u64(cfg_.initial_value.id);
+      ctx().broadcast(w.take());
+    }
+    return;
+  }
+  try_new_view();
+}
+
+std::optional<Value> PbftNode::best_certified_value() const {
+  VoteRef best;
+  for (const auto& cert : reported_) {
+    if (cert && cert->prepared.present() &&
+        (!best.present() || cert->prepared.view > best.view)) {
+      best = cert->prepared;
+    }
+  }
+  if (!best.present()) return std::nullopt;
+  return best.value;
+}
+
+void PbftNode::try_new_view() {
+  if (view_ == 0 || sent_new_view_ || cfg_.leader_of(view_) != ctx().id()) return;
+  // The new leader needs a quorum of view-changes (implied by having entered
+  // the view) and a quorum of distinct acknowledgers for this view or later.
+  std::size_t ackers = 0;
+  for (const View v : acked_) {
+    if (v >= view_) ++ackers;
+  }
+  if (!qp_.is_quorum(ackers)) return;
+
+  sent_new_view_ = true;
+  const auto best = best_certified_value();
+  const Value value = best.value_or(cfg_.initial_value);
+  auto w = tagged(PbftMsg::NewView);
+  w.i64(view_);
+  w.u64(value.id);
+  ctx().broadcast(w.take());
+  // The fresh pre-prepare follows the new-view installation (Castro's
+  // protocol resumes normal operation with the next pre-prepare).
+  auto pp = tagged(PbftMsg::PrePrepare);
+  pp.i64(view_);
+  pp.u64(value.id);
+  ctx().broadcast(pp.take());
+}
+
+void PbftNode::try_prepare() {
+  if (sent_prepare_ || !pre_prepare_) return;
+  sent_prepare_ = true;
+  auto w = tagged(PbftMsg::Prepare);
+  w.i64(view_);
+  w.u64(pre_prepare_->id);
+  ctx().broadcast(w.take());
+}
+
+void PbftNode::decide(Value value) {
+  if (decision_) return;
+  decision_ = value;
+  ctx().report_decision(0, value);
+}
+
+void PbftNode::initiate_view_change(View target) {
+  highest_vc_sent_ = std::max(highest_vc_sent_, target);
+  auto w = tagged(PbftMsg::ViewChange);
+  w.i64(target);
+  prepared_.encode(w);
+  // The O(n) payload: the claimed voter list of the prepared certificate.
+  w.varint(prepared_voters_.size());
+  for (NodeId p : prepared_voters_) w.u32(p);
+  ctx().broadcast(w.take());
+}
+
+void PbftNode::on_timer(sim::TimerId id) {
+  if (id != timer_ || decision_) return;
+  initiate_view_change(std::max(view_ + 1, highest_vc_sent_));
+  timer_ = ctx().set_timer(cfg_.view_timeout());
+}
+
+void PbftNode::on_message(NodeId from, std::span<const std::uint8_t> payload) {
+  if (keep_full_log_) log_bytes_ += payload.size();  // unbounded variant
+
+  serde::Reader r(payload);
+  const auto tag = static_cast<PbftMsg>(r.u8());
+  if (!r.ok()) return;
+
+  switch (tag) {
+    case PbftMsg::PrePrepare: {
+      const View v = r.i64();
+      const Value value{r.u64()};
+      if (!r.done() || v != view_ || from != cfg_.leader_of(view_) || pre_prepare_) return;
+      if (view_ > 0) {
+        // Only accept a pre-prepare consistent with the certified history.
+        const auto best = best_certified_value();
+        if (best && !(*best == value)) return;
+      }
+      pre_prepare_ = value;
+      try_prepare();
+      return;
+    }
+    case PbftMsg::Prepare: {
+      const View v = r.i64();
+      const Value value{r.u64()};
+      if (!r.done() || v != view_) return;
+      if (!prepares_.record(from, value)) return;
+      if (!qp_.is_quorum(prepares_.count(value)) || sent_commit_) return;
+      prepared_ = VoteRef{view_, value};
+      prepared_voters_ = prepares_.voters(value);
+      sent_commit_ = true;
+      auto w = tagged(PbftMsg::Commit);
+      w.i64(view_);
+      w.u64(value.id);
+      ctx().broadcast(w.take());
+      return;
+    }
+    case PbftMsg::Commit: {
+      const View v = r.i64();
+      const Value value{r.u64()};
+      if (!r.done() || v != view_) return;
+      if (!commits_.record(from, value)) return;
+      if (qp_.is_quorum(commits_.count(value))) decide(value);
+      return;
+    }
+    case PbftMsg::ViewChange: {
+      const View v = r.i64();
+      const VoteRef prepared = VoteRef::decode(r);
+      const auto voter_count = r.varint();
+      if (!r.ok() || voter_count > cfg_.n) return;
+      ReportedCert cert;
+      cert.prepared = prepared;
+      for (std::uint64_t i = 0; i < voter_count; ++i) cert.voters.push_back(r.u32());
+      if (!r.done() || v < 1) return;
+
+      if (decision_ && from != ctx().id()) {
+        auto w = tagged(PbftMsg::Decide);
+        w.u64(decision_->id);
+        ctx().send(from, w.take());
+      }
+      if (!vc_.observe(from, v)) return;
+
+      // Track the newest certificate per sender and acknowledge *others'*
+      // view-changes to the prospective leader (Castro's view-change-ack:
+      // an endorsement round, one real message delay).
+      reported_[from] = std::move(cert);
+      if (v > view_ && from != ctx().id()) {
+        auto ack = tagged(PbftMsg::ViewChangeAck);
+        ack.i64(v);
+        ack.u32(from);
+        ctx().send(cfg_.leader_of(v), ack.take());
+      }
+
+      const View echo_target = vc_.kth_highest(qp_.blocking_size());
+      if (echo_target > highest_vc_sent_ && echo_target > view_) {
+        initiate_view_change(echo_target);
+      }
+      const View enter_target = vc_.kth_highest(qp_.quorum_size());
+      if (enter_target > view_) enter_view(enter_target);
+      return;
+    }
+    case PbftMsg::ViewChangeAck: {
+      const View v = r.i64();
+      const NodeId vc_sender = r.u32();
+      if (!r.done() || vc_sender >= cfg_.n) return;
+      acked_[from] = std::max(acked_[from], v);
+      try_new_view();
+      return;
+    }
+    case PbftMsg::NewView: {
+      const View v = r.i64();
+      const Value value{r.u64()};
+      if (!r.done() || v != view_ || from != cfg_.leader_of(view_)) return;
+      // Validated against our own certificate evidence when the subsequent
+      // pre-prepare arrives; nothing else to do here (the new-view message
+      // models Castro's installation round and its latency).
+      (void)value;
+      return;
+    }
+    case PbftMsg::Decide: {
+      const Value value{r.u64()};
+      if (!r.done() || decision_ || decide_claimed_[from]) return;
+      decide_claimed_[from] = true;
+      auto& claimers = decide_claims_[value];
+      claimers.insert(from);
+      if (qp_.is_blocking(claimers.size())) decide(value);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace tbft::baselines

@@ -1,0 +1,97 @@
+#pragma once
+// Unauthenticated PBFT (Castro 2001, Castro & Liskov 2002), the Table 1
+// rows with the best good-case latency (3 delays: pre-prepare, prepare,
+// commit) but the worst view-change communication: every view-change
+// message carries the sender's prepared certificate *with its O(n) voter
+// list* and is broadcast, so a view change moves O(n) * n senders * n
+// receivers = O(n^3) bits in total -- the reason the paper rules PBFT out
+// for large systems. Each view-change is also acknowledged to the new
+// leader (view-change-ack), and the leader installs the view with a
+// new-view message carrying the chosen certificate.
+//
+// Two storage variants (Table 1 lists both):
+//  - bounded (default): constant persistent state, exactly one prepared
+//    certificate;
+//  - unbounded (keep_full_log = true): the classic message-log formulation
+//    -- every protocol message is retained, so persistent_bytes() grows
+//    without bound. bench_table1's storage column shows the divergence.
+
+#include <array>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "baselines/common.hpp"
+
+namespace tbft::baselines {
+
+enum class PbftMsg : std::uint8_t {
+  PrePrepare = 41,
+  Prepare = 42,
+  Commit = 43,
+  ViewChange = 44,  // carries the prepared certificate incl. voter list
+  ViewChangeAck = 45,
+  NewView = 46,
+  Decide = 47,
+};
+
+class PbftNode : public sim::ProtocolNode {
+ public:
+  explicit PbftNode(BaselineConfig cfg, bool keep_full_log = false)
+      : cfg_(cfg), qp_(cfg.quorum_params()), keep_full_log_(keep_full_log) {}
+
+  void on_start() override;
+  void on_message(NodeId from, std::span<const std::uint8_t> payload) override;
+  void on_timer(sim::TimerId id) override;
+
+  [[nodiscard]] const std::optional<Value>& decision() const noexcept { return decision_; }
+  [[nodiscard]] View current_view() const noexcept { return view_; }
+  [[nodiscard]] std::size_t persistent_bytes() const noexcept {
+    const std::size_t bounded =
+        sizeof(VoteRef) + sizeof(View) * 2 + sizeof(Value) + prepared_voters_.size() * sizeof(NodeId);
+    return bounded + log_bytes_;
+  }
+  [[nodiscard]] const BaselineConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct ReportedCert {
+    VoteRef prepared;
+    std::vector<NodeId> voters;
+  };
+
+  void enter_view(View v);
+  void try_new_view();
+  void try_prepare();
+  void decide(Value value);
+  void initiate_view_change(View target);
+  [[nodiscard]] std::optional<Value> best_certified_value() const;
+
+  BaselineConfig cfg_;
+  QuorumParams qp_;
+  bool keep_full_log_;
+
+  // Persistent state (bounded variant): the prepared certificate.
+  VoteRef prepared_;
+  std::vector<NodeId> prepared_voters_;
+  View view_{0};
+  View highest_vc_sent_{kNoView};
+  std::optional<Value> decision_;
+  std::size_t log_bytes_{0};  // unbounded variant only
+
+  // Per-view transient state.
+  std::optional<Value> pre_prepare_;
+  bool sent_prepare_{false};
+  bool sent_commit_{false};
+  bool sent_new_view_{false};
+  VoteTally prepares_;
+  VoteTally commits_;
+  std::vector<std::optional<ReportedCert>> reported_;  // vc certificates, per sender
+  std::vector<View> acked_;  // highest view each acker acknowledged (monotone)
+  ViewChangeCounter vc_;
+  std::vector<bool> decide_claimed_;
+  std::map<Value, std::set<NodeId>> decide_claims_;
+  sim::TimerId timer_{0};
+};
+
+}  // namespace tbft::baselines

@@ -1,0 +1,37 @@
+#pragma once
+// State-space exploration over the abstract spec: bounded-exhaustive BFS
+// with symmetry reduction (the paper's §5 verification analogue), plus a
+// randomized walker for bounds too large to exhaust.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "checker/spec.hpp"
+#include "common/rng.hpp"
+
+namespace tbft::checker {
+
+struct ExploreResult {
+  std::uint64_t states{0};       // distinct canonical states visited
+  std::uint64_t transitions{0};  // actions applied
+  int max_depth{0};
+  bool capped{false};            // state cap hit before exhausting
+  bool violation{false};
+  std::string violated_property;
+
+  [[nodiscard]] bool exhaustive_ok() const noexcept { return !capped && !violation; }
+};
+
+/// Breadth-first exhaustive exploration of the reachable state space (after
+/// canonicalization). Checks Consistency and, when `check_aux`, the paper's
+/// auxiliary invariants on every state. Stops at `state_cap` states.
+ExploreResult explore_bfs(const Spec& spec, std::uint64_t state_cap = 2'000'000,
+                          bool check_aux = true);
+
+/// Randomized exploration: `walks` random walks of length `depth` from the
+/// initial state, checking invariants at every step.
+ExploreResult explore_random(const Spec& spec, std::uint64_t walks, int depth,
+                             std::uint64_t seed, bool check_aux = true);
+
+}  // namespace tbft::checker

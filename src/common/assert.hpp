@@ -1,0 +1,37 @@
+#pragma once
+// Internal invariant checks. These guard programmer errors (broken protocol
+// invariants), not untrusted input: malformed network input is handled via
+// serde failure paths, never via assertions.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tbft {
+
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violation: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace tbft
+
+#define TBFT_ASSERT(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::tbft::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TBFT_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) ::tbft::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

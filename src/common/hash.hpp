@@ -1,0 +1,42 @@
+#pragma once
+// Non-cryptographic hashing. The unauthenticated model requires no
+// signatures or cryptographic hashes; chain "hash pointers" in the multi-shot
+// protocol only need to be collision-free among the values that actually
+// occur in a run, which a 64-bit mix provides for simulation purposes.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/rng.hpp"
+
+namespace tbft {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
+                                std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(std::string_view s, std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Order-dependent combination of two 64-bit hashes.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9E3779B97f4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace tbft

@@ -1,0 +1,53 @@
+#pragma once
+// Minimal leveled logger. Logging is off (Warn) by default so benches and
+// property sweeps stay quiet; integration tests raise the level to debug
+// failing schedules.
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace tbft {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  void write(LogLevel level, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_{LogLevel::Warn};
+};
+
+namespace detail {
+template <class... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <class... Args>
+void log(LogLevel level, Args&&... args) {
+  auto& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  logger.write(level, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace tbft
+
+#define TBFT_LOG_TRACE(...) ::tbft::log(::tbft::LogLevel::Trace, __VA_ARGS__)
+#define TBFT_LOG_DEBUG(...) ::tbft::log(::tbft::LogLevel::Debug, __VA_ARGS__)
+#define TBFT_LOG_INFO(...) ::tbft::log(::tbft::LogLevel::Info, __VA_ARGS__)
+#define TBFT_LOG_WARN(...) ::tbft::log(::tbft::LogLevel::Warn, __VA_ARGS__)
+#define TBFT_LOG_ERROR(...) ::tbft::log(::tbft::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,86 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible simulation.
+// xoshiro256** seeded via SplitMix64; every experiment takes an explicit seed
+// so that any run (including failing property-test cases) can be replayed.
+
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace tbft {
+
+/// SplitMix64: used for seeding and for cheap stateless mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// One-shot mix of a 64-bit value (stateless hash finalizer).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+    TBFT_ASSERT(lo <= hi);
+    const std::uint64_t range = hi - lo;
+    if (range == std::numeric_limits<std::uint64_t>::max()) return next();
+    // Unbiased rejection sampling (Lemire-style threshold).
+    const std::uint64_t span = range + 1;
+    const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                                std::numeric_limits<std::uint64_t>::max() % span;
+    std::uint64_t x = next();
+    while (x >= limit) x = next();
+    return lo + x % span;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Pick a uniformly random index in [0, n).
+  std::size_t index(std::size_t n) noexcept {
+    TBFT_ASSERT(n > 0);
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng fork() noexcept { return Rng(next()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace tbft

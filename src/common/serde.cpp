@@ -1,0 +1,45 @@
+#include "common/serde.hpp"
+
+namespace tbft::serde {
+
+std::uint64_t Reader::varint() {
+  if (!ok_) return 0;
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= data_.size() || shift >= 64) {
+      ok_ = false;
+      return 0;
+    }
+    const std::uint8_t b = data_[pos_++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> Reader::bytes() {
+  const std::uint64_t len = varint();
+  if (!ok_ || data_.size() - pos_ < len) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+std::string Reader::str() {
+  const std::uint64_t len = varint();
+  if (!ok_ || data_.size() - pos_ < len) {
+    ok_ = false;
+    return {};
+  }
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+}  // namespace tbft::serde

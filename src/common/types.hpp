@@ -1,0 +1,84 @@
+#pragma once
+// Core identifier and quorum-arithmetic types shared by every protocol in the
+// repository. TetraBFT (and the baselines) operate in the classic n > 3f
+// Byzantine setting with quorums of size n-f and blocking sets of size f+1.
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace tbft {
+
+/// Identifies a node. Channels are authenticated, so the simulator guarantees
+/// that the receiver learns the true NodeId of the sender of every message
+/// (but nothing is transferable: a node cannot prove to a third party what it
+/// received -- the unauthenticated model of the paper).
+using NodeId = std::uint32_t;
+
+/// A view (a.k.a. round) number. kNoView (-1) denotes "no view yet"; it is
+/// also used as the view of an absent vote so that absent votes compare below
+/// every real view.
+using View = std::int64_t;
+inline constexpr View kNoView = -1;
+
+/// A slot number in multi-shot consensus (position in the chain). Slot 0 is
+/// the genesis block.
+using Slot = std::uint64_t;
+
+/// A consensus value. In single-shot consensus this is an opaque 64-bit
+/// identifier (the paper's "val"); in multi-shot consensus it is the hash of
+/// a block. kNoValue denotes "no value" in optional contexts.
+struct Value {
+  std::uint64_t id{0};
+
+  friend constexpr bool operator==(Value a, Value b) noexcept { return a.id == b.id; }
+  friend constexpr bool operator!=(Value a, Value b) noexcept { return a.id != b.id; }
+  friend constexpr bool operator<(Value a, Value b) noexcept { return a.id < b.id; }
+};
+inline constexpr Value kNoValue{0};
+
+inline std::ostream& operator<<(std::ostream& os, Value v) { return os << "val:" << v.id; }
+
+/// Quorum arithmetic for the n > 3f setting.
+///
+/// - quorum: any set of >= n-f nodes (two quorums intersect in a
+///   well-behaved node when n > 3f);
+/// - blocking set: any set of >= f+1 nodes (contains at least one
+///   well-behaved node).
+class QuorumParams {
+ public:
+  QuorumParams(std::uint32_t n, std::uint32_t f) : n_(n), f_(f) {
+    if (n == 0 || 3 * static_cast<std::uint64_t>(f) >= n) {
+      throw std::invalid_argument("QuorumParams requires n > 3f, got n=" + std::to_string(n) +
+                                  " f=" + std::to_string(f));
+    }
+  }
+
+  /// Largest f such that n > 3f.
+  static QuorumParams max_faults(std::uint32_t n) { return {n, (n - 1) / 3}; }
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t f() const noexcept { return f_; }
+  [[nodiscard]] std::uint32_t quorum_size() const noexcept { return n_ - f_; }
+  [[nodiscard]] std::uint32_t blocking_size() const noexcept { return f_ + 1; }
+
+  [[nodiscard]] bool is_quorum(std::size_t count) const noexcept { return count >= quorum_size(); }
+  [[nodiscard]] bool is_blocking(std::size_t count) const noexcept {
+    return count >= blocking_size();
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t f_;
+};
+
+}  // namespace tbft
+
+template <>
+struct std::hash<tbft::Value> {
+  std::size_t operator()(tbft::Value v) const noexcept {
+    return std::hash<std::uint64_t>{}(v.id);
+  }
+};

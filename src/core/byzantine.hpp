@@ -1,0 +1,103 @@
+#pragma once
+// Byzantine behaviors for single-shot TetraBFT, used by integration tests,
+// property sweeps and benches. Each attacker reuses the honest machinery and
+// deviates at exactly one protocol hook, so scenarios stay interpretable.
+//
+// The model checker (src/checker) covers the *strongest* adversary (per-step
+// havoc); these classes exercise concrete end-to-end attack schedules through
+// the real wire-format/network stack.
+
+#include "core/node.hpp"
+
+namespace tbft::core {
+
+/// Leader equivocation: proposes `value_a` to the lower half of the nodes
+/// and `value_b` to the upper half whenever it is the leader; otherwise
+/// behaves honestly (still votes, still answers suggests).
+class EquivocatingLeaderNode : public TetraNode {
+ public:
+  EquivocatingLeaderNode(TetraConfig cfg, Value value_a, Value value_b)
+      : TetraNode(cfg), value_a_(value_a), value_b_(value_b) {}
+
+ protected:
+  void do_propose(Value /*rule1_value*/) override {
+    const std::uint32_t n = config().n;
+    for (NodeId dst = 0; dst < n; ++dst) {
+      const Value v = (dst < n / 2) ? value_a_ : value_b_;
+      send_msg(dst, Proposal{current_view(), v});
+    }
+  }
+
+ private:
+  Value value_a_;
+  Value value_b_;
+};
+
+/// Proposes a fixed value whenever it is the leader, ignoring Rule 1
+/// entirely (no suggest collection). Rule 3 at the followers must reject the
+/// proposal whenever the value is unsafe.
+class UnsafeProposerNode : public TetraNode {
+ public:
+  UnsafeProposerNode(TetraConfig cfg, Value forced) : TetraNode(cfg), forced_(forced) {}
+
+ protected:
+  void try_propose() override {
+    if (!is_leader() || already_proposed()) return;
+    mark_proposed();
+    broadcast_msg(Proposal{current_view(), forced_});
+  }
+
+ private:
+  Value forced_;
+};
+
+/// Lies in its suggest/proof messages: claims a fabricated voting history
+/// that makes `favored` look safe everywhere (highest votes at a huge view).
+/// With at most f such liars, Rules 1/3 must remain safe.
+class LyingHistoryNode : public TetraNode {
+ public:
+  LyingHistoryNode(TetraConfig cfg, Value favored) : TetraNode(cfg), favored_(favored) {}
+
+ protected:
+  Suggest make_suggest_msg(View view) override {
+    Suggest s;
+    s.view = view;
+    s.vote2 = VoteRef{view - 1, favored_};
+    s.prev_vote2 = VoteRef{view - 1, Value{favored_.id + 1}};
+    s.vote3 = VoteRef{};  // claims: never sent vote-3 (enables Rule 1 2a votes)
+    return s;
+  }
+
+  Proof make_proof_msg(View view) override {
+    Proof p;
+    p.view = view;
+    p.vote1 = VoteRef{view - 1, favored_};
+    p.prev_vote1 = VoteRef{view - 1, Value{favored_.id + 1}};
+    p.vote4 = VoteRef{};  // claims: never sent vote-4
+    return p;
+  }
+
+ private:
+  Value favored_;
+};
+
+/// Vote equivocation: every vote broadcast is split -- the true value to the
+/// lower half of the nodes, `fake` to the upper half.
+class VoteEquivocatorNode : public TetraNode {
+ public:
+  VoteEquivocatorNode(TetraConfig cfg, Value fake) : TetraNode(cfg), fake_(fake) {}
+
+ protected:
+  void do_broadcast_vote(int phase, Value value) override {
+    const std::uint32_t n = config().n;
+    for (NodeId dst = 0; dst < n; ++dst) {
+      const Value v = (dst < n / 2) ? value : fake_;
+      send_msg(dst, Vote{static_cast<std::uint8_t>(phase), current_view(), v});
+    }
+  }
+
+ private:
+  Value fake_;
+};
+
+}  // namespace tbft::core

@@ -1,0 +1,29 @@
+#include "core/messages.hpp"
+
+namespace tbft::core {
+
+std::vector<std::uint8_t> encode_message(const Message& m) {
+  serde::Writer w;
+  std::visit([&w](const auto& msg) { msg.encode(w); }, m);
+  return w.take();
+}
+
+std::optional<Message> decode_message(std::span<const std::uint8_t> payload) {
+  serde::Reader r(payload);
+  const auto tag = r.u8();
+  if (!r.ok()) return std::nullopt;
+
+  Message out;
+  switch (static_cast<MsgType>(tag)) {
+    case MsgType::Proposal: out = Proposal::decode(r); break;
+    case MsgType::Vote: out = Vote::decode(r); break;
+    case MsgType::Suggest: out = Suggest::decode(r); break;
+    case MsgType::Proof: out = Proof::decode(r); break;
+    case MsgType::ViewChange: out = ViewChange::decode(r); break;
+    default: return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;
+  return out;
+}
+
+}  // namespace tbft::core

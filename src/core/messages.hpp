@@ -1,0 +1,176 @@
+#pragma once
+// Wire messages of Basic TetraBFT (paper §3.1).
+//
+// A leader sends `proposal`; every node can send four kinds of `vote`,
+// `suggest`/`proof` (history snapshots used during view change to determine
+// safe values), and `view-change`. Suggest carries the sender's highest
+// vote-2, second-highest different-value vote-2 and highest vote-3; proof is
+// the same shape with vote-1/vote-4.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+
+namespace tbft::core {
+
+enum class MsgType : std::uint8_t {
+  Proposal = 1,
+  Vote = 2,
+  Suggest = 3,
+  Proof = 4,
+  ViewChange = 5,
+};
+
+/// A reference to a vote the sender previously cast: (view, value).
+/// view == kNoView means "no such vote" (e.g. the node never sent a vote-3).
+struct VoteRef {
+  View view{kNoView};
+  Value value{kNoValue};
+
+  [[nodiscard]] bool present() const noexcept { return view != kNoView; }
+
+  friend bool operator==(const VoteRef&, const VoteRef&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.i64(view);
+    w.u64(value.id);
+  }
+  static VoteRef decode(serde::Reader& r) {
+    VoteRef v;
+    v.view = r.i64();
+    v.value.id = r.u64();
+    if (v.view < kNoView) r.fail();
+    return v;
+  }
+};
+
+struct Proposal {
+  View view{0};
+  Value value{};
+
+  friend bool operator==(const Proposal&, const Proposal&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::Proposal));
+    w.i64(view);
+    w.u64(value.id);
+  }
+  static Proposal decode(serde::Reader& r) {
+    Proposal p;
+    p.view = r.i64();
+    p.value.id = r.u64();
+    if (p.view < 0) r.fail();
+    return p;
+  }
+};
+
+/// phase in 1..4 ("vote-i" in the paper).
+struct Vote {
+  std::uint8_t phase{1};
+  View view{0};
+  Value value{};
+
+  friend bool operator==(const Vote&, const Vote&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::Vote));
+    w.u8(phase);
+    w.i64(view);
+    w.u64(value.id);
+  }
+  static Vote decode(serde::Reader& r) {
+    Vote v;
+    v.phase = r.u8();
+    v.view = r.i64();
+    v.value.id = r.u64();
+    if (v.phase < 1 || v.phase > 4 || v.view < 0) r.fail();
+    return v;
+  }
+};
+
+/// Sent to the leader when entering view `view` (> 0).
+struct Suggest {
+  View view{0};
+  VoteRef vote2;       // highest vote-2 sent
+  VoteRef prev_vote2;  // highest vote-2 sent for a different value than vote2
+  VoteRef vote3;       // highest vote-3 sent
+
+  friend bool operator==(const Suggest&, const Suggest&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::Suggest));
+    w.i64(view);
+    vote2.encode(w);
+    prev_vote2.encode(w);
+    vote3.encode(w);
+  }
+  static Suggest decode(serde::Reader& r) {
+    Suggest s;
+    s.view = r.i64();
+    s.vote2 = VoteRef::decode(r);
+    s.prev_vote2 = VoteRef::decode(r);
+    s.vote3 = VoteRef::decode(r);
+    if (s.view < 0) r.fail();
+    return s;
+  }
+};
+
+/// Broadcast when entering view `view` (> 0). Same shape as Suggest but over
+/// vote-1 / vote-4.
+struct Proof {
+  View view{0};
+  VoteRef vote1;
+  VoteRef prev_vote1;
+  VoteRef vote4;
+
+  friend bool operator==(const Proof&, const Proof&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::Proof));
+    w.i64(view);
+    vote1.encode(w);
+    prev_vote1.encode(w);
+    vote4.encode(w);
+  }
+  static Proof decode(serde::Reader& r) {
+    Proof p;
+    p.view = r.i64();
+    p.vote1 = VoteRef::decode(r);
+    p.prev_vote1 = VoteRef::decode(r);
+    p.vote4 = VoteRef::decode(r);
+    if (p.view < 0) r.fail();
+    return p;
+  }
+};
+
+struct ViewChange {
+  View view{0};  // the view the sender wants to move to
+
+  friend bool operator==(const ViewChange&, const ViewChange&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsgType::ViewChange));
+    w.i64(view);
+  }
+  static ViewChange decode(serde::Reader& r) {
+    ViewChange vc;
+    vc.view = r.i64();
+    if (vc.view < 1) r.fail();
+    return vc;
+  }
+};
+
+using Message = std::variant<Proposal, Vote, Suggest, Proof, ViewChange>;
+
+/// Serialize any TetraBFT message (the first byte is the MsgType tag).
+std::vector<std::uint8_t> encode_message(const Message& m);
+
+/// Total decode of an untrusted payload; nullopt on any malformation.
+std::optional<Message> decode_message(std::span<const std::uint8_t> payload);
+
+}  // namespace tbft::core

@@ -1,0 +1,175 @@
+#include "core/rules.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tbft::core {
+
+bool claims_safe(const VoteRef& vote, const VoteRef& prev_vote, View at_view,
+                 Value value) noexcept {
+  if (at_view == 0) return true;                               // Rule 2/4 item 1
+  if (vote.present() && vote.view >= at_view && vote.value == value) return true;  // item 2
+  if (prev_vote.present() && prev_vote.view >= at_view) return true;               // item 3
+  return false;
+}
+
+namespace {
+
+/// Highest view a vote could pass "view < v'" filters with when absent:
+/// absent votes rank strictly below view 0.
+View view_or_none(const VoteRef& v) noexcept { return v.present() ? v.view : kNoView; }
+
+/// Collect distinct candidate values for Rule 1: the leader's initial value
+/// (preferred when unconstrained), every reported vote-3 value, and every
+/// reported vote-2 value. Rule 2 item 3 claims are value-agnostic, so any
+/// value claimable only through item 3 is dominated by `initial`.
+std::vector<Value> rule1_candidates(Value initial, std::span<const SuggestFrom> suggests) {
+  std::vector<Value> vals;
+  vals.push_back(initial);
+  auto add = [&vals](const VoteRef& ref) {
+    if (ref.present() && std::find(vals.begin(), vals.end(), ref.value) == vals.end()) {
+      vals.push_back(ref.value);
+    }
+  };
+  for (const auto& s : suggests) {
+    add(s.msg.vote3);
+    add(s.msg.vote2);
+    add(s.msg.prev_vote2);
+  }
+  return vals;
+}
+
+}  // namespace
+
+std::optional<Value> leader_find_safe_value(const QuorumParams& qp, View view, Value initial,
+                                            std::span<const SuggestFrom> suggests) {
+  if (view == 0) return initial;  // all values safe in view 0
+
+  // Rule 1 item 2a: a quorum reports never having sent vote-3 => any value.
+  std::size_t no_vote3 = 0;
+  for (const auto& s : suggests) {
+    if (!s.msg.vote3.present()) ++no_vote3;
+  }
+  if (qp.is_quorum(no_vote3)) return initial;
+
+  if (suggests.size() < qp.quorum_size()) return std::nullopt;
+
+  // Rule 1 item 2b: scan views v' = view-1 .. 0 and candidate values.
+  const std::vector<Value> candidates = rule1_candidates(initial, suggests);
+  for (View vp = view - 1; vp >= 0; --vp) {
+    for (const Value val : candidates) {
+      std::size_t quorum_num = 0;    // members compatible with items 2(b)i + 2(b)ii
+      std::size_t blocking_num = 0;  // members claiming val safe at vp (Rule 2)
+      for (const auto& s : suggests) {
+        const View v3 = view_or_none(s.msg.vote3);
+        if (v3 < vp || (v3 == vp && s.msg.vote3.value == val)) ++quorum_num;
+        if (claims_safe(s.msg.vote2, s.msg.prev_vote2, vp, val)) ++blocking_num;
+      }
+      if (qp.is_quorum(quorum_num) && qp.is_blocking(blocking_num)) return val;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Candidate values for the Rule 3 item 2(b)iiiB blocking-set claims. Claims
+/// via Rule 4 item 3 are value-agnostic, so two synthetic values (never
+/// colliding with real ones in simulation) cover the "any two values" case.
+std::vector<Value> rule3_claim_candidates(std::span<const ProofFrom> proofs) {
+  std::vector<Value> vals;
+  auto add = [&vals](Value v) {
+    if (std::find(vals.begin(), vals.end(), v) == vals.end()) vals.push_back(v);
+  };
+  for (const auto& p : proofs) {
+    if (p.msg.vote1.present()) add(p.msg.vote1.value);
+    if (p.msg.prev_vote1.present()) add(p.msg.prev_vote1.value);
+  }
+  add(Value{~0ULL});      // synthetic witnesses for value-agnostic claims
+  add(Value{~0ULL - 1});
+  return vals;
+}
+
+}  // namespace
+
+bool proposal_is_safe(const QuorumParams& qp, View view, Value value,
+                      std::span<const ProofFrom> proofs) {
+  if (view == 0) return true;
+
+  // Rule 3 item 2a: a quorum reports never having sent vote-4.
+  std::size_t no_vote4 = 0;
+  for (const auto& p : proofs) {
+    if (!p.msg.vote4.present()) ++no_vote4;
+  }
+  if (qp.is_quorum(no_vote4)) return true;
+
+  if (proofs.size() < qp.quorum_size()) return false;
+
+  // --- Item 2(b)iiiA: one blocking set claims `value` safe at v'. ---
+  for (View vp = view - 1; vp >= 0; --vp) {
+    std::size_t quorum_num = 0;
+    std::size_t blocking_num = 0;
+    for (const auto& p : proofs) {
+      const View v4 = view_or_none(p.msg.vote4);
+      if (v4 < vp || (v4 == vp && p.msg.vote4.value == value)) ++quorum_num;
+      if (claims_safe(p.msg.vote1, p.msg.prev_vote1, vp, value)) ++blocking_num;
+    }
+    if (qp.is_quorum(quorum_num) && qp.is_blocking(blocking_num)) return true;
+  }
+
+  // --- Item 2(b)iiiB: two blocking sets claim two different values safe at
+  // views v' <= v~ < v~' < view. As in Algorithm 5 it suffices to take
+  // v' = v~, and the blocking sets must lie inside the chosen quorum. ---
+  struct ClaimSet {
+    View at_view;
+    Value val;
+    std::vector<NodeId> claimers;  // sorted
+  };
+  const std::vector<Value> candidates = rule3_claim_candidates(proofs);
+  std::vector<ClaimSet> claim_sets;
+  for (View cv = view - 1; cv >= 1; --cv) {  // cv == 0 claims are universal; handled by A-case
+    for (const Value cval : candidates) {
+      std::vector<NodeId> claimers;
+      for (const auto& p : proofs) {
+        if (claims_safe(p.msg.vote1, p.msg.prev_vote1, cv, cval)) claimers.push_back(p.from);
+      }
+      if (qp.is_blocking(claimers.size())) {
+        std::sort(claimers.begin(), claimers.end());
+        claim_sets.push_back(ClaimSet{cv, cval, std::move(claimers)});
+      }
+    }
+  }
+
+  auto intersection_size = [](const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+    std::size_t count = 0;
+    auto it = a.begin();
+    for (NodeId id : b) {
+      while (it != a.end() && *it < id) ++it;
+      if (it != a.end() && *it == id) ++count;
+    }
+    return count;
+  };
+
+  for (const auto& low : claim_sets) {  // v~ (and v' = v~)
+    for (const auto& high : claim_sets) {
+      if (!(high.at_view > low.at_view) || high.val == low.val) continue;  // need v~ < v~'
+      // Check items 2(b)i and 2(b)ii at v' = low.at_view and collect the quorum.
+      std::vector<NodeId> quorum_set;
+      for (const auto& p : proofs) {
+        const View v4 = view_or_none(p.msg.vote4);
+        if (v4 < low.at_view || (v4 == low.at_view && p.msg.vote4.value == value)) {
+          quorum_set.push_back(p.from);
+        }
+      }
+      if (!qp.is_quorum(quorum_set.size())) continue;
+      std::sort(quorum_set.begin(), quorum_set.end());
+      if (qp.is_blocking(intersection_size(quorum_set, low.claimers)) &&
+          qp.is_blocking(intersection_size(quorum_set, high.claimers))) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace tbft::core

@@ -1,0 +1,65 @@
+#pragma once
+// The safe-value rules of TetraBFT (paper §3.2, Rules 1-4) and the efficient
+// helper algorithms (paper Algorithms 1, 4 and 5).
+//
+// Terminology:
+//  - Rule 1: when a *leader* determines a value safe to propose in view v,
+//    from a quorum of suggest messages.
+//  - Rule 2: when a single suggest message *claims* a value safe at a view.
+//  - Rule 3: when a *node* determines the leader's proposal safe to vote
+//    for, from a quorum of proof messages (adds the two-blocking-set case
+//    2(b)iiiB).
+//  - Rule 4: when a single proof message claims a value safe at a view.
+//
+// Safety only requires soundness of `proposal_is_safe` (honest nodes never
+// vote-1 for an unsafe value); completeness in the scenarios of Lemmas 2 and
+// 4 gives liveness. Both directions are tested against the literal
+// quantifier-level reference in rules_reference.hpp.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/messages.hpp"
+
+namespace tbft::core {
+
+/// A suggest message together with its authenticated sender.
+struct SuggestFrom {
+  NodeId from{0};
+  Suggest msg;
+};
+
+/// A proof message together with its authenticated sender.
+struct ProofFrom {
+  NodeId from{0};
+  Proof msg;
+};
+
+/// Algorithm 1 / Rules 2 and 4: does a message whose relevant history is
+/// (`vote`, `prev_vote`) claim that `value` is safe at view `at_view`?
+///  1. at_view == 0: every value is safe;
+///  2. vote.view >= at_view and vote.value == value;
+///  3. prev_vote.view >= at_view (then *every* value is claimed safe: the
+///     sender saw two quorum-backed values above at_view).
+[[nodiscard]] bool claims_safe(const VoteRef& vote, const VoteRef& prev_vote, View at_view,
+                               Value value) noexcept;
+
+/// Algorithm 4 / Rule 1: the leader of view `view` determines some safe
+/// value from the suggest messages received (at most one per sender --
+/// enforced by the caller). Returns the value to propose, or nullopt if the
+/// received suggests do not yet certify any value. `initial` is the leader's
+/// own initial value, proposed whenever arbitrary values are safe.
+///
+/// Complexity O(view * m * n) with m = O(n) candidate values.
+[[nodiscard]] std::optional<Value> leader_find_safe_value(const QuorumParams& qp, View view,
+                                                          Value initial,
+                                                          std::span<const SuggestFrom> suggests);
+
+/// Algorithm 5 / Rule 3: does the set of proof messages (at most one per
+/// sender) certify that the proposed `value` is safe in `view`?
+[[nodiscard]] bool proposal_is_safe(const QuorumParams& qp, View view, Value value,
+                                    std::span<const ProofFrom> proofs);
+
+}  // namespace tbft::core

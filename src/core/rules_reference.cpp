@@ -1,0 +1,152 @@
+#include "core/rules_reference.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace tbft::core::reference {
+
+namespace {
+
+View view_or_none(const VoteRef& v) noexcept { return v.present() ? v.view : kNoView; }
+
+/// Visit every k-subset of {0..n-1}; stop early when the visitor returns true.
+bool any_combination(std::size_t n, std::size_t k,
+                     const std::function<bool(const std::vector<std::size_t>&)>& visit) {
+  if (k > n) return false;
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    if (visit(idx)) return true;
+    // advance to next combination
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return false;
+    }
+    if (k == 0) return false;
+  }
+}
+
+std::vector<Value> all_values(std::span<const ProofFrom> proofs) {
+  std::vector<Value> vals;
+  auto add = [&vals](const VoteRef& r) {
+    if (r.present() && std::find(vals.begin(), vals.end(), r.value) == vals.end()) {
+      vals.push_back(r.value);
+    }
+  };
+  for (const auto& p : proofs) {
+    add(p.msg.vote1);
+    add(p.msg.prev_vote1);
+    add(p.msg.vote4);
+  }
+  // Rule 4 item 3 claims are value-agnostic; two synthetic values witness
+  // the "any pair of distinct values" existentials.
+  vals.push_back(Value{~0ULL});
+  vals.push_back(Value{~0ULL - 1});
+  return vals;
+}
+
+}  // namespace
+
+bool rule1_safe(const QuorumParams& qp, View view, Value value,
+                std::span<const SuggestFrom> suggests) {
+  if (view == 0) return true;
+  const std::size_t n_msgs = suggests.size();
+  const std::size_t q = qp.quorum_size();
+  if (n_msgs < q) return false;
+
+  // Blocking-set claims are counted over *all* received suggests (Rule 1
+  // item 2(b)iii does not restrict b to the quorum).
+  auto blocking_claims_at = [&](View vp) {
+    std::size_t cnt = 0;
+    for (const auto& s : suggests) {
+      if (claims_safe(s.msg.vote2, s.msg.prev_vote2, vp, value)) ++cnt;
+    }
+    return qp.is_blocking(cnt);
+  };
+
+  return any_combination(n_msgs, q, [&](const std::vector<std::size_t>& idx) {
+    // Item 2a: no member of q sent any vote-3 before view.
+    bool none_voted3 = true;
+    for (std::size_t i : idx) {
+      if (suggests[i].msg.vote3.present()) none_voted3 = false;
+    }
+    if (none_voted3) return true;
+
+    // Item 2b: exists v' < view.
+    for (View vp = 0; vp < view; ++vp) {
+      bool ok = true;
+      for (std::size_t i : idx) {
+        const View v3 = view_or_none(suggests[i].msg.vote3);
+        if (v3 > vp) ok = false;                                            // item 2(b)i
+        if (v3 == vp && !(suggests[i].msg.vote3.value == value)) ok = false;  // item 2(b)ii
+      }
+      if (ok && blocking_claims_at(vp)) return true;  // item 2(b)iii
+    }
+    return false;
+  });
+}
+
+bool rule3_safe(const QuorumParams& qp, View view, Value value,
+                std::span<const ProofFrom> proofs) {
+  if (view == 0) return true;
+  const std::size_t n_msgs = proofs.size();
+  const std::size_t q = qp.quorum_size();
+  if (n_msgs < q) return false;
+
+  const std::vector<Value> vals = all_values(proofs);
+
+  auto blocking_claims = [&](View vp, Value val) {
+    std::size_t cnt = 0;
+    for (const auto& p : proofs) {
+      if (claims_safe(p.msg.vote1, p.msg.prev_vote1, vp, val)) ++cnt;
+    }
+    return qp.is_blocking(cnt);
+  };
+
+  return any_combination(n_msgs, q, [&](const std::vector<std::size_t>& idx) {
+    // Item 2a.
+    bool none_voted4 = true;
+    for (std::size_t i : idx) {
+      if (proofs[i].msg.vote4.present()) none_voted4 = false;
+    }
+    if (none_voted4) return true;
+
+    // Item 2b.
+    for (View vp = 0; vp < view; ++vp) {
+      bool ok = true;
+      for (std::size_t i : idx) {
+        const View v4 = view_or_none(proofs[i].msg.vote4);
+        if (v4 > vp) ok = false;                                          // item 2(b)i
+        if (v4 == vp && !(proofs[i].msg.vote4.value == value)) ok = false;  // item 2(b)ii
+      }
+      if (!ok) continue;
+
+      // Item 2(b)iiiA.
+      if (blocking_claims(vp, value)) return true;
+
+      // Item 2(b)iiiB: exists val~ claimed safe at v~ (vp <= v~ < view) and
+      // val~' != val~ claimed safe at v~' (v~ < v~' < view).
+      for (View vt = vp; vt < view; ++vt) {
+        for (const Value valt : vals) {
+          if (!blocking_claims(vt, valt)) continue;
+          for (View vt2 = vt + 1; vt2 < view; ++vt2) {
+            for (const Value valt2 : vals) {
+              if (valt2 == valt) continue;
+              if (blocking_claims(vt2, valt2)) return true;
+            }
+          }
+        }
+      }
+    }
+    return false;
+  });
+}
+
+}  // namespace tbft::core::reference

@@ -1,0 +1,27 @@
+#pragma once
+// Literal, quantifier-level implementations of Rule 1 and Rule 3 (paper
+// §3.2): explicit enumeration of quorums and existential views, with no
+// algorithmic shortcuts. Exponential in n -- usable only as a test oracle for
+// the efficient algorithms in rules.hpp:
+//
+//   soundness:    rules.cpp accepts  =>  the literal rule accepts
+//   completeness: in honest scenarios (Lemmas 2/4), literal accepts =>
+//                 rules.cpp accepts.
+
+#include <span>
+
+#include "core/rules.hpp"
+
+namespace tbft::core::reference {
+
+/// Rule 1, literally: is `value` safe to propose in `view` given the
+/// suggest messages (one per sender)?
+[[nodiscard]] bool rule1_safe(const QuorumParams& qp, View view, Value value,
+                              std::span<const SuggestFrom> suggests);
+
+/// Rule 3, literally: is the proposed `value` safe in `view` given the proof
+/// messages (one per sender)?
+[[nodiscard]] bool rule3_safe(const QuorumParams& qp, View view, Value value,
+                              std::span<const ProofFrom> proofs);
+
+}  // namespace tbft::core::reference

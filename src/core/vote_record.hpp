@@ -1,0 +1,70 @@
+#pragma once
+// The constant-size persistent voting state of a TetraBFT node (paper §3.1,
+// last paragraph): for each phase the highest vote sent, plus -- for phases 1
+// and 2 -- the second-highest vote carrying a *different* value than the
+// highest. This is everything a node ever needs to produce suggest/proof
+// messages, and it is what makes TetraBFT a constant-storage protocol.
+
+#include <cstddef>
+
+#include "common/assert.hpp"
+#include "core/messages.hpp"
+
+namespace tbft::core {
+
+class VoteRecord {
+ public:
+  /// Record that this node sent a vote-`phase` in `view` for `value`.
+  /// Honest nodes vote at most once per (phase, view) and views are
+  /// monotone, which the update relies on (asserted).
+  void record(int phase, View view, Value value) {
+    TBFT_ASSERT(phase >= 1 && phase <= 4);
+    TBFT_ASSERT(view >= 0);
+    VoteRef& highest = highest_[phase - 1];
+    TBFT_ASSERT_MSG(!highest.present() || view > highest.view ||
+                        (view == highest.view && value == highest.value),
+                    "votes must be recorded in view order, one per phase per view");
+    if (highest.present() && view == highest.view) return;  // duplicate
+    if (phase <= 2 && highest.present() && highest.value != value) {
+      // The displaced highest becomes the second-highest different-value
+      // vote: by view monotonicity it dominates every older vote with a
+      // value other than the new highest's.
+      prev_[phase - 1] = highest;
+    }
+    highest = VoteRef{view, value};
+  }
+
+  [[nodiscard]] const VoteRef& highest(int phase) const {
+    TBFT_ASSERT(phase >= 1 && phase <= 4);
+    return highest_[phase - 1];
+  }
+
+  /// Second-highest different-value vote; only phases 1 and 2 are tracked
+  /// (the only ones suggest/proof messages carry).
+  [[nodiscard]] const VoteRef& prev(int phase) const {
+    TBFT_ASSERT(phase == 1 || phase == 2);
+    return prev_[phase - 1];
+  }
+
+  /// Snapshot for the leader of `view` (vote-2 / prev-vote-2 / vote-3).
+  [[nodiscard]] Suggest make_suggest(View view) const {
+    return Suggest{view, highest_[1], prev_[1], highest_[2]};
+  }
+
+  /// Snapshot broadcast on entering `view` (vote-1 / prev-vote-1 / vote-4).
+  [[nodiscard]] Proof make_proof(View view) const {
+    return Proof{view, highest_[0], prev_[0], highest_[3]};
+  }
+
+  /// Size of the persistent state if serialized: the constant-storage
+  /// accounting used by bench_table1.
+  [[nodiscard]] std::size_t persistent_bytes() const noexcept {
+    return sizeof(VoteRef) * 6;
+  }
+
+ private:
+  VoteRef highest_[4];  // per phase 1..4
+  VoteRef prev_[2];     // per phase 1..2
+};
+
+}  // namespace tbft::core

@@ -1,0 +1,4 @@
+#include "multishot/block.hpp"
+
+// Block is header-only; this translation unit anchors the library target.
+namespace tbft::multishot {}

@@ -1,0 +1,51 @@
+#pragma once
+// Blocks of the multi-shot TetraBFT chain (paper §6): values linked by hash
+// pointers. The block hash doubles as the consensus Value of the slot's
+// (implicit) basic-TetraBFT instance.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/serde.hpp"
+#include "common/types.hpp"
+
+namespace tbft::multishot {
+
+/// Hash of the implicit genesis block (slot 0).
+inline constexpr std::uint64_t kGenesisHash = 0x67656e65736973ULL;  // "genesis"
+
+struct Block {
+  Slot slot{0};
+  std::uint64_t parent_hash{kGenesisHash};
+  NodeId proposer{0};
+  std::vector<std::uint8_t> payload;
+
+  /// Content hash: commits to slot, parent chain, proposer and payload.
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    std::uint64_t h = hash_combine(mix64(slot), parent_hash);
+    h = hash_combine(h, mix64(proposer));
+    return hash_combine(h, fnv1a64(payload));
+  }
+
+  [[nodiscard]] Value value() const noexcept { return Value{hash()}; }
+
+  friend bool operator==(const Block&, const Block&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u64(slot);
+    w.u64(parent_hash);
+    w.u32(proposer);
+    w.bytes(payload);
+  }
+  static Block decode(serde::Reader& r) {
+    Block b;
+    b.slot = r.u64();
+    b.parent_hash = r.u64();
+    b.proposer = r.u32();
+    b.payload = r.bytes();
+    return b;
+  }
+};
+
+}  // namespace tbft::multishot

@@ -1,0 +1,95 @@
+#include "multishot/chain.hpp"
+
+#include "common/assert.hpp"
+
+namespace tbft::multishot {
+
+bool ChainStore::add_block(const Block& b) {
+  if (b.slot < first_unfinalized() || b.slot > first_unfinalized() + kWindow) return false;
+  blocks_.emplace(std::make_pair(b.slot, b.hash()), b);
+  return true;
+}
+
+const Block* ChainStore::find_block(Slot slot, std::uint64_t hash) const {
+  const auto it = blocks_.find({slot, hash});
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+bool ChainStore::notarize(Slot slot, View view, std::uint64_t hash) {
+  if (is_finalized(slot)) return false;
+  auto [it, inserted] = notarized_.try_emplace(slot, Notarization{view, hash});
+  if (!inserted) {
+    if (view <= it->second.view) return false;
+    it->second = Notarization{view, hash};
+  }
+  return true;
+}
+
+bool ChainStore::force_finalize(const Block& b) {
+  if (b.slot != first_unfinalized() || b.parent_hash != finalized_tip_hash()) return false;
+  chain_.push_back(b);
+  notarized_.erase(b.slot);
+  prune_finalized();
+  return true;
+}
+
+std::optional<Notarization> ChainStore::notarized(Slot slot) const {
+  if (slot == 0) return Notarization{0, kGenesisHash};
+  if (is_finalized(slot)) return Notarization{0, chain_[slot - 1].hash()};
+  const auto it = notarized_.find(slot);
+  if (it == notarized_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint64_t> ChainStore::required_parent(Slot slot) const {
+  TBFT_ASSERT(slot >= 1);
+  const auto parent = notarized(slot - 1);
+  if (!parent) return std::nullopt;
+  return parent->hash;
+}
+
+std::size_t ChainStore::notarized_suffix_length() const {
+  std::size_t len = 0;
+  Slot s = first_unfinalized();
+  std::uint64_t parent = finalized_tip_hash();
+  while (true) {
+    const auto n = notarized(s);
+    if (!n) break;
+    const Block* b = find_block(s, n->hash);
+    if (b == nullptr || b->parent_hash != parent) break;
+    parent = n->hash;
+    ++len;
+    ++s;
+  }
+  return len;
+}
+
+std::size_t ChainStore::try_finalize() {
+  // Finalize the first block of every run of 4 consecutive notarized,
+  // parent-linked blocks: equivalently, while the chain is followed by at
+  // least 4 such blocks, finalize the first one (and thus its prefix).
+  std::size_t finalized = 0;
+  while (notarized_suffix_length() >= 4) {
+    const Slot s = first_unfinalized();
+    const auto n = notarized(s);
+    const Block* b = find_block(s, n->hash);
+    TBFT_ASSERT(b != nullptr);
+    chain_.push_back(*b);
+    notarized_.erase(s);
+    ++finalized;
+  }
+  if (finalized > 0) prune_finalized();
+  return finalized;
+}
+
+void ChainStore::prune_finalized() {
+  const Slot first = first_unfinalized();
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    it = (it->first.first < first) ? blocks_.erase(it) : std::next(it);
+  }
+  for (auto it = notarized_.begin(); it != notarized_.end();) {
+    it = (it->first < first) ? notarized_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace tbft::multishot

@@ -1,0 +1,84 @@
+#pragma once
+// Per-node chain state for multi-shot TetraBFT: candidate blocks per slot,
+// notarization tracking (a quorum of votes for (slot, view, hash)), and the
+// finalization rule -- the first block of four consecutively notarized,
+// parent-linked blocks is finalized together with its prefix (paper §6.1).
+//
+// Storage discipline: finalized blocks are compacted into the output chain;
+// candidate/notarization state is kept only for a bounded window of
+// unfinalized slots, preserving the protocol's bounded-storage character.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "multishot/block.hpp"
+
+namespace tbft::multishot {
+
+struct Notarization {
+  View view{kNoView};
+  std::uint64_t hash{0};
+};
+
+class ChainStore {
+ public:
+  /// Remember a candidate block (from a proposal). Returns false when the
+  /// slot is outside the acceptance window (finalized or too far ahead).
+  bool add_block(const Block& b);
+
+  [[nodiscard]] const Block* find_block(Slot slot, std::uint64_t hash) const;
+
+  /// Record that (slot, view, hash) reached a vote quorum. Later views
+  /// override earlier notarizations of the same slot (a re-proposed aborted
+  /// slot supersedes its tentative predecessor). Returns true when the
+  /// notarization state changed.
+  bool notarize(Slot slot, View view, std::uint64_t hash);
+
+  /// Adopt a finalized block learned through f+1 matching ChainInfo claims;
+  /// must extend the current finalized tip at the first unfinalized slot.
+  /// Returns false (and does nothing) otherwise.
+  bool force_finalize(const Block& b);
+
+  [[nodiscard]] std::optional<Notarization> notarized(Slot slot) const;
+
+  /// Hash the next block of `slot` must extend: the notarization of slot-1
+  /// (slot 1 extends genesis).
+  [[nodiscard]] std::optional<std::uint64_t> required_parent(Slot slot) const;
+
+  /// Run the finalization rule; newly finalized blocks are appended to the
+  /// finalized chain in slot order. Returns how many were finalized.
+  std::size_t try_finalize();
+
+  [[nodiscard]] const std::vector<Block>& finalized_chain() const noexcept { return chain_; }
+  [[nodiscard]] Slot first_unfinalized() const noexcept { return chain_.size() + 1; }
+  [[nodiscard]] bool is_finalized(Slot slot) const noexcept {
+    return slot >= 1 && slot <= chain_.size();
+  }
+  [[nodiscard]] std::uint64_t finalized_tip_hash() const noexcept {
+    return chain_.empty() ? kGenesisHash : chain_.back().hash();
+  }
+
+  /// How many consecutive notarized-but-unfinalized slots follow the chain.
+  [[nodiscard]] std::size_t notarized_suffix_length() const;
+
+  /// Upper bound on unfinalized state (candidate blocks + notarizations).
+  [[nodiscard]] std::size_t pending_entries() const noexcept {
+    return blocks_.size() + notarized_.size();
+  }
+
+  /// Slots further than this past the finalized tip are rejected (defends
+  /// storage against Byzantine far-future spam; honest traffic stays within
+  /// the finality depth of 5).
+  static constexpr Slot kWindow = 64;
+
+ private:
+  std::vector<Block> chain_;                              // finalized, slots 1..size
+  std::map<std::pair<Slot, std::uint64_t>, Block> blocks_;  // candidates
+  std::map<Slot, Notarization> notarized_;                // unfinalized slots
+
+  void prune_finalized();
+};
+
+}  // namespace tbft::multishot

@@ -1,0 +1,195 @@
+#pragma once
+// Wire messages of Multi-shot TetraBFT (paper §6). One vote message per slot
+// serves as vote-1 for that slot and, implicitly, vote-2..4 for the three
+// preceding slots (Fig. 2); suggest/proof/view-change are the per-slot
+// analogues of the single-shot messages, sent only on view change.
+
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "common/types.hpp"
+#include "core/messages.hpp"
+#include "multishot/block.hpp"
+
+namespace tbft::multishot {
+
+enum class MsType : std::uint8_t {
+  Proposal = 11,
+  Vote = 12,
+  Suggest = 13,
+  Proof = 14,
+  ViewChange = 15,
+  ChainInfo = 16,
+};
+
+struct MsProposal {
+  Slot slot{0};
+  View view{0};
+  Block block;
+
+  friend bool operator==(const MsProposal&, const MsProposal&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsType::Proposal));
+    w.u64(slot);
+    w.i64(view);
+    block.encode(w);
+  }
+  static MsProposal decode(serde::Reader& r) {
+    MsProposal m;
+    m.slot = r.u64();
+    m.view = r.i64();
+    m.block = Block::decode(r);
+    if (m.view < 0 || m.slot < 1 || m.block.slot != m.slot) r.fail();
+    return m;
+  }
+};
+
+struct MsVote {
+  Slot slot{0};
+  View view{0};
+  std::uint64_t block_hash{0};
+
+  friend bool operator==(const MsVote&, const MsVote&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsType::Vote));
+    w.u64(slot);
+    w.i64(view);
+    w.u64(block_hash);
+  }
+  static MsVote decode(serde::Reader& r) {
+    MsVote m;
+    m.slot = r.u64();
+    m.view = r.i64();
+    m.block_hash = r.u64();
+    if (m.view < 0 || m.slot < 1) r.fail();
+    return m;
+  }
+};
+
+/// Per-slot suggest: the sender's implicit vote-2/prev-vote-2/vote-3 history
+/// for this slot (values are block hashes).
+struct MsSuggest {
+  Slot slot{0};
+  View view{0};
+  core::VoteRef vote2;
+  core::VoteRef prev_vote2;
+  core::VoteRef vote3;
+
+  friend bool operator==(const MsSuggest&, const MsSuggest&) = default;
+
+  [[nodiscard]] core::Suggest as_core() const { return {view, vote2, prev_vote2, vote3}; }
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsType::Suggest));
+    w.u64(slot);
+    w.i64(view);
+    vote2.encode(w);
+    prev_vote2.encode(w);
+    vote3.encode(w);
+  }
+  static MsSuggest decode(serde::Reader& r) {
+    MsSuggest m;
+    m.slot = r.u64();
+    m.view = r.i64();
+    m.vote2 = core::VoteRef::decode(r);
+    m.prev_vote2 = core::VoteRef::decode(r);
+    m.vote3 = core::VoteRef::decode(r);
+    if (m.view < 1 || m.slot < 1) r.fail();
+    return m;
+  }
+};
+
+struct MsProof {
+  Slot slot{0};
+  View view{0};
+  core::VoteRef vote1;
+  core::VoteRef prev_vote1;
+  core::VoteRef vote4;
+
+  friend bool operator==(const MsProof&, const MsProof&) = default;
+
+  [[nodiscard]] core::Proof as_core() const { return {view, vote1, prev_vote1, vote4}; }
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsType::Proof));
+    w.u64(slot);
+    w.i64(view);
+    vote1.encode(w);
+    prev_vote1.encode(w);
+    vote4.encode(w);
+  }
+  static MsProof decode(serde::Reader& r) {
+    MsProof m;
+    m.slot = r.u64();
+    m.view = r.i64();
+    m.vote1 = core::VoteRef::decode(r);
+    m.prev_vote1 = core::VoteRef::decode(r);
+    m.vote4 = core::VoteRef::decode(r);
+    if (m.view < 1 || m.slot < 1) r.fail();
+    return m;
+  }
+};
+
+/// "Change slot `slot` (and everything after it) to view `view`."
+struct MsViewChange {
+  Slot slot{0};
+  View view{0};
+
+  friend bool operator==(const MsViewChange&, const MsViewChange&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsType::ViewChange));
+    w.u64(slot);
+    w.i64(view);
+  }
+  static MsViewChange decode(serde::Reader& r) {
+    MsViewChange m;
+    m.slot = r.u64();
+    m.view = r.i64();
+    if (m.view < 1 || m.slot < 1) r.fail();
+    return m;
+  }
+};
+
+/// Catch-up help: a suffix of the sender's finalized chain, sent in response
+/// to a view-change for an already-finalized slot. A straggler adopts a
+/// block once f+1 distinct senders claim it (>= 1 honest claim, and honest
+/// finalized chains agree). Multi-shot analogue of the single-shot Decide.
+struct MsChainInfo {
+  std::vector<Block> blocks;
+
+  friend bool operator==(const MsChainInfo&, const MsChainInfo&) = default;
+
+  static constexpr std::size_t kMaxBlocks = 8;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsType::ChainInfo));
+    w.varint(blocks.size());
+    for (const auto& b : blocks) b.encode(w);
+  }
+  static MsChainInfo decode(serde::Reader& r) {
+    MsChainInfo m;
+    const auto count = r.varint();
+    if (count > kMaxBlocks) {
+      r.fail();
+      return m;
+    }
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+      m.blocks.push_back(Block::decode(r));
+    }
+    return m;
+  }
+};
+
+using MsMessage =
+    std::variant<MsProposal, MsVote, MsSuggest, MsProof, MsViewChange, MsChainInfo>;
+
+std::vector<std::uint8_t> encode_ms(const MsMessage& m);
+std::optional<MsMessage> decode_ms(std::span<const std::uint8_t> payload);
+
+}  // namespace tbft::multishot

@@ -1,0 +1,498 @@
+#include "multishot/node.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace tbft::multishot {
+
+namespace {
+/// Bound on per-slot maps keyed by view (defends against Byzantine
+/// view-number spam; honest traffic uses a handful of views).
+constexpr std::size_t kMaxTrackedViewsPerSlot = 32;
+/// ChainInfo claims are only tracked this far past the finalized tip.
+constexpr Slot kClaimWindow = 16;
+}  // namespace
+
+std::vector<std::uint8_t> encode_ms(const MsMessage& m) {
+  serde::Writer w;
+  std::visit([&w](const auto& msg) { msg.encode(w); }, m);
+  return w.take();
+}
+
+std::optional<MsMessage> decode_ms(std::span<const std::uint8_t> payload) {
+  serde::Reader r(payload);
+  const auto tag = r.u8();
+  if (!r.ok()) return std::nullopt;
+  MsMessage out;
+  switch (static_cast<MsType>(tag)) {
+    case MsType::Proposal: out = MsProposal::decode(r); break;
+    case MsType::Vote: out = MsVote::decode(r); break;
+    case MsType::Suggest: out = MsSuggest::decode(r); break;
+    case MsType::Proof: out = MsProof::decode(r); break;
+    case MsType::ViewChange: out = MsViewChange::decode(r); break;
+    case MsType::ChainInfo: out = MsChainInfo::decode(r); break;
+    default: return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;
+  return out;
+}
+
+MultishotNode::MultishotNode(MultishotConfig cfg) : cfg_(cfg), qp_(cfg.quorum_params()) {}
+
+void MultishotNode::on_start() {
+  start_slot(1);
+  try_propose(1);
+}
+
+void MultishotNode::submit_tx(std::vector<std::uint8_t> tx) {
+  mempool_.push_back(std::move(tx));
+}
+
+View MultishotNode::view_of(Slot s) const {
+  const auto it = slots_.find(s);
+  return it == slots_.end() ? 0 : it->second.view;
+}
+
+bool MultishotNode::tx_finalized(std::span<const std::uint8_t> tx) const {
+  for (const auto& b : chain_.finalized_chain()) {
+    if (std::search(b.payload.begin(), b.payload.end(), tx.begin(), tx.end()) !=
+        b.payload.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+MultishotNode::SlotState* MultishotNode::slot_state(Slot s, bool create) {
+  if (s < 1 || chain_.is_finalized(s)) return nullptr;
+  if (s > chain_.first_unfinalized() + ChainStore::kWindow) return nullptr;
+  const auto it = slots_.find(s);
+  if (it != slots_.end()) return &it->second;
+  if (!create) return nullptr;
+  SlotState& st = slots_[s];
+  st.vc_highest.assign(cfg_.n, kNoView);
+  st.suggests.assign(cfg_.n, std::nullopt);
+  st.proofs.assign(cfg_.n, std::nullopt);
+  return &st;
+}
+
+void MultishotNode::start_slot(Slot s) {
+  SlotState* st = slot_state(s, true);
+  if (st == nullptr || st->started) return;
+  st->started = true;
+  arm_timer(s);
+}
+
+void MultishotNode::arm_timer(Slot s) {
+  SlotState* st = slot_state(s, false);
+  if (st == nullptr) return;
+  if (st->timer != 0) {
+    ctx().cancel_timer(st->timer);
+    timer_slots_.erase(st->timer);
+  }
+  st->timer = ctx().set_timer(cfg_.view_timeout());
+  timer_slots_[st->timer] = s;
+}
+
+std::vector<std::uint8_t> MultishotNode::build_payload(View view) {
+  serde::Writer w;
+  w.varint(static_cast<std::uint64_t>(view));  // nonce: distinct across views
+  std::size_t included = 0;
+  for (const auto& tx : mempool_) {
+    if (included++ >= 16) break;
+    w.bytes(tx);
+  }
+  auto payload = w.take();
+  if (payload.size() < cfg_.default_payload_bytes) {
+    payload.resize(cfg_.default_payload_bytes, 0);
+  }
+  return payload;
+}
+
+std::optional<std::uint64_t> MultishotNode::parent_for_proposal(Slot s) const {
+  const Slot prev = s - 1;
+  if (prev == 0) return kGenesisHash;
+  if (chain_.is_finalized(prev)) return chain_.finalized_chain()[prev - 1].hash();
+  // A notarization of the previous slot is the convergent signal: build on
+  // it whenever one exists (any view; value stability in try_propose keeps
+  // re-proposals equal to notarizations, so this stays consistent across
+  // view changes and across equivocation-split perceptions). Only in the
+  // good-case pipelining window -- before the previous slot has notarized
+  // at all -- build directly on the received proposal (Fig. 2 proposes on
+  // *receipt* of the previous proposal).
+  if (const auto n = chain_.notarized(prev)) return n->hash;
+  const auto it = slots_.find(prev);
+  if (it != slots_.end()) {
+    const auto pit = it->second.proposal_by_view.find(it->second.view);
+    if (pit != it->second.proposal_by_view.end()) return pit->second;
+  }
+  return std::nullopt;
+}
+
+void MultishotNode::try_propose(Slot s) {
+  if (cfg_.max_slots != 0 && s > cfg_.max_slots) return;
+  SlotState* st = slot_state(s, true);
+  if (st == nullptr || st->proposed) return;
+  if (cfg_.leader_of(s, st->view) != ctx().id()) return;
+
+  const auto parent = parent_for_proposal(s);
+  if (!parent) return;
+
+  Block block;
+  if (st->view == 0) {
+    block = Block{s, *parent, ctx().id(), build_payload(0)};
+  } else {
+    // Rule 1 over this slot's suggest messages. The leader's "initial
+    // value" is the slot's already-notarized block when one exists (value
+    // stability: keeps notarizations from different views linked so the
+    // depth-4 finality rule can complete across view changes even when a
+    // crashed node leads one slot of the window in every view); a fresh
+    // block otherwise.
+    std::vector<core::SuggestFrom> suggests;
+    for (NodeId p = 0; p < cfg_.n; ++p) {
+      if (st->suggests[p] && st->suggests[p]->view == st->view) {
+        suggests.push_back({p, st->suggests[p]->as_core()});
+      }
+    }
+    std::optional<Block> preferred;
+    if (const auto nt = chain_.notarized(s)) {
+      if (const Block* nb = chain_.find_block(s, nt->hash);
+          nb != nullptr && nb->parent_hash == *parent) {
+        preferred = *nb;
+      }
+    }
+    if (!preferred) preferred = Block{s, *parent, ctx().id(), build_payload(st->view)};
+    const auto val = core::leader_find_safe_value(qp_, st->view, preferred->value(), suggests);
+    if (!val) return;
+    if (val->id == preferred->hash()) {
+      block = std::move(*preferred);
+    } else {
+      // Rule 1 forces a previously proposed block: re-propose it.
+      const Block* existing = chain_.find_block(s, val->id);
+      if (existing == nullptr) return;  // content unknown; wait for it
+      block = *existing;
+    }
+  }
+
+  st->proposed = true;
+  chain_.add_block(block);
+  // The proposal is the leader's implicit vote for its own slot (paper
+  // §6.1): record vote-1 locally; the broadcast is counted by receivers.
+  if (st->voted.find(st->view) == st->voted.end()) {
+    st->voted[st->view] = block.hash();
+    const auto& high = st->record.highest(1);
+    if (!high.present() || st->view > high.view) {
+      st->record.record(1, st->view, block.value());
+    }
+  }
+  do_propose(s, st->view, block);
+}
+
+void MultishotNode::do_propose(Slot s, View v, const Block& block) {
+  broadcast_ms(MsProposal{s, v, block});
+}
+
+void MultishotNode::try_vote(Slot s) {
+  SlotState* st = slot_state(s, false);
+  if (st == nullptr) return;
+  if (st->voted.find(st->view) != st->voted.end()) return;
+  const auto pit = st->proposal_by_view.find(st->view);
+  if (pit == st->proposal_by_view.end()) return;
+  const std::uint64_t h = pit->second;
+  const Block* b = chain_.find_block(s, h);
+  if (b == nullptr) return;
+
+  // Chaining condition (§6.1): the parent must be notarized and the block
+  // must extend it.
+  const auto parent = chain_.required_parent(s);
+  if (!parent || *parent != b->parent_hash) return;
+
+  // Safety condition: Rule 3 in views > 0 (all values safe in view 0).
+  if (st->view > 0) {
+    std::vector<core::ProofFrom> proofs;
+    for (NodeId p = 0; p < cfg_.n; ++p) {
+      if (st->proofs[p] && st->proofs[p]->view == st->view) {
+        proofs.push_back({p, st->proofs[p]->as_core()});
+      }
+    }
+    if (!core::proposal_is_safe(qp_, st->view, Value{h}, proofs)) return;
+  }
+
+  st->voted[st->view] = h;
+  record_vote_effects(s, st->view, *b);
+  broadcast_ms(MsVote{s, st->view, h});
+}
+
+void MultishotNode::record_vote_effects(Slot s, View v, const Block& head) {
+  // A head vote for slot s is vote-1 for s and implicitly vote-k for slot
+  // s-k+1 along the parent chain (Fig. 2); phases are preserved in local
+  // memory for future suggest/proof messages.
+  const Block* b = &head;
+  for (int phase = 1; phase <= 4; ++phase) {
+    const Slot target = s - static_cast<Slot>(phase - 1);
+    if (target < 1 || s < static_cast<Slot>(phase - 1)) break;
+    if (SlotState* ts = slot_state(target, false); ts != nullptr) {
+      const auto& high = ts->record.highest(phase);
+      if (!high.present() || v > high.view) {
+        ts->record.record(phase, v, b->value());
+      }
+    }
+    if (phase == 4 || target == 1) break;
+    const Slot parent_slot = target - 1;
+    const Block* pb = chain_.find_block(parent_slot, b->parent_hash);
+    if (pb == nullptr) {
+      if (chain_.is_finalized(parent_slot) &&
+          chain_.finalized_chain()[parent_slot - 1].hash() == b->parent_hash) {
+        pb = &chain_.finalized_chain()[parent_slot - 1];
+      } else {
+        break;  // ancestor content unknown; skip deeper phases
+      }
+    }
+    b = pb;
+  }
+}
+
+void MultishotNode::on_notarized(Slot s) {
+  if (record_timeline_) notarized_at_.try_emplace(s, ctx().now());
+  finalize_progress();
+  try_vote(s);
+  try_vote(s + 1);
+  try_propose(s + 1);
+}
+
+void MultishotNode::finalize_progress() {
+  const std::size_t before = chain_.finalized_chain().size();
+  chain_.try_finalize();
+  const auto& ch = chain_.finalized_chain();
+  if (ch.size() == before) return;
+  for (std::size_t i = before; i < ch.size(); ++i) {
+    ctx().report_decision(ch[i].slot, ch[i].value());
+    // Drop finalized transactions from the mempool.
+    for (auto it = mempool_.begin(); it != mempool_.end();) {
+      const bool included = std::search(ch[i].payload.begin(), ch[i].payload.end(), it->begin(),
+                                        it->end()) != ch[i].payload.end();
+      it = included ? mempool_.erase(it) : std::next(it);
+    }
+  }
+  prune_slots();
+}
+
+void MultishotNode::prune_slots() {
+  const Slot first = chain_.first_unfinalized();
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->first < first) {
+      if (it->second.timer != 0) {
+        ctx().cancel_timer(it->second.timer);
+        timer_slots_.erase(it->second.timer);
+      }
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = chain_claims_.begin(); it != chain_claims_.end();) {
+    it = (it->first.first < first) ? chain_claims_.erase(it) : std::next(it);
+  }
+  for (auto it = claimed_blocks_.begin(); it != claimed_blocks_.end();) {
+    it = (it->first.first < first) ? claimed_blocks_.erase(it) : std::next(it);
+  }
+}
+
+void MultishotNode::on_message(NodeId from, std::span<const std::uint8_t> payload) {
+  const auto msg = decode_ms(payload);
+  if (!msg) {
+    ctx().metrics().counter("multishot.malformed").add();
+    return;
+  }
+  std::visit([this, from](const auto& m) { handle(from, m); }, *msg);
+}
+
+void MultishotNode::handle(NodeId from, const MsProposal& m) {
+  if (from != cfg_.leader_of(m.slot, m.view)) return;
+  SlotState* st = slot_state(m.slot, true);
+  if (st == nullptr) return;
+  if (!chain_.add_block(m.block)) return;
+
+  const auto [it, inserted] = st->proposal_by_view.try_emplace(m.view, m.block.hash());
+  if (!inserted) return;  // first proposal per view wins; equivocation ignored
+  if (record_timeline_) first_proposal_at_.try_emplace(m.slot, ctx().now());
+  if (st->proposal_by_view.size() > kMaxTrackedViewsPerSlot) {
+    st->proposal_by_view.erase(st->proposal_by_view.begin());
+  }
+
+  // Implicit leader vote (paper §6.1).
+  auto& voters = st->votes[{m.view, m.block.hash()}];
+  voters.insert(from);
+  if (qp_.is_quorum(voters.size()) && chain_.notarize(m.slot, m.view, m.block.hash())) {
+    on_notarized(m.slot);
+  }
+
+  if (m.view >= st->view) {
+    // Receiving the proposal for slot s starts slot s+1 (§6.2) and lets the
+    // next leader pipeline its own proposal (Fig. 2).
+    start_slot(m.slot + 1);
+    try_vote(m.slot);
+    try_propose(m.slot + 1);
+  }
+}
+
+void MultishotNode::handle(NodeId from, const MsVote& m) {
+  SlotState* st = slot_state(m.slot, true);
+  if (st == nullptr) return;
+  auto& voters = st->votes[{m.view, m.block_hash}];
+  voters.insert(from);
+  if (st->votes.size() > kMaxTrackedViewsPerSlot * 4) {
+    st->votes.erase(st->votes.begin());
+  }
+  if (qp_.is_quorum(voters.size()) && chain_.notarize(m.slot, m.view, m.block_hash)) {
+    on_notarized(m.slot);
+  }
+}
+
+void MultishotNode::handle(NodeId from, const MsSuggest& m) {
+  if (cfg_.leader_of(m.slot, m.view) != ctx().id()) return;
+  SlotState* st = slot_state(m.slot, true);
+  if (st == nullptr) return;
+  auto& slot_msg = st->suggests[from];
+  if (!slot_msg || m.view > slot_msg->view) slot_msg = m;
+  try_propose(m.slot);
+}
+
+void MultishotNode::handle(NodeId from, const MsProof& m) {
+  SlotState* st = slot_state(m.slot, true);
+  if (st == nullptr) return;
+  auto& slot_msg = st->proofs[from];
+  if (!slot_msg || m.view > slot_msg->view) slot_msg = m;
+  try_vote(m.slot);
+}
+
+void MultishotNode::handle(NodeId from, const MsViewChange& m) {
+  if (chain_.is_finalized(m.slot)) {
+    // Catch-up help: answer with a finalized-chain suffix.
+    MsChainInfo info;
+    const auto& ch = chain_.finalized_chain();
+    for (Slot s = m.slot; s <= ch.size() && info.blocks.size() < MsChainInfo::kMaxBlocks; ++s) {
+      info.blocks.push_back(ch[s - 1]);
+    }
+    if (from != ctx().id()) send_ms(from, info);
+    return;
+  }
+  SlotState* st = slot_state(m.slot, true);
+  if (st == nullptr) return;
+  if (m.view <= st->vc_highest[from]) return;
+  st->vc_highest[from] = m.view;
+
+  auto kth_highest = [st](std::size_t k) {
+    std::vector<View> sorted(st->vc_highest.begin(), st->vc_highest.end());
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    return sorted[k - 1];
+  };
+
+  const View echo_target = kth_highest(qp_.blocking_size());
+  if (echo_target > st->highest_vc_sent && echo_target > st->view) {
+    st->highest_vc_sent = echo_target;
+    ctx().metrics().counter("multishot.viewchange.sent").add();
+    broadcast_ms(MsViewChange{m.slot, echo_target});
+  }
+  const View enter_target = kth_highest(qp_.quorum_size());
+  if (enter_target > st->view) {
+    change_view(m.slot, enter_target);
+  }
+}
+
+void MultishotNode::change_view(Slot from_slot, View new_view) {
+  // Move every started, unfinalized slot >= from_slot to the new view
+  // (Algorithm 2); abort their tentative blocks and exchange suggest/proof
+  // so the new leaders can re-propose safe values.
+  std::vector<Slot> affected;
+  for (auto& [t, ts] : slots_) {
+    if (t < from_slot || !ts.started || new_view <= ts.view) continue;
+    ts.view = new_view;
+    ts.proposed = false;
+    arm_timer(t);
+    affected.push_back(t);
+  }
+  for (const Slot t : affected) {
+    SlotState& ts = slots_[t];
+    broadcast_ms(MsProof{t, new_view, ts.record.highest(1), ts.record.prev(1),
+                         ts.record.highest(4)});
+    send_ms(cfg_.leader_of(t, new_view),
+            MsSuggest{t, new_view, ts.record.highest(2), ts.record.prev(2),
+                      ts.record.highest(3)});
+  }
+  for (const Slot t : affected) {
+    try_propose(t);
+    try_vote(t);  // a proposal for the new view may already be buffered
+  }
+}
+
+Slot MultishotNode::lowest_unfinalized_started() const {
+  for (const auto& [s, st] : slots_) {
+    if (st.started && !chain_.is_finalized(s)) return s;
+  }
+  return chain_.first_unfinalized();
+}
+
+void MultishotNode::on_timer(sim::TimerId id) {
+  const auto tit = timer_slots_.find(id);
+  if (tit == timer_slots_.end()) return;
+  const Slot s = tit->second;
+  timer_slots_.erase(tit);
+
+  SlotState* st = slot_state(s, false);
+  if (st == nullptr || st->timer != id) return;
+  st->timer = 0;
+  if (chain_.is_finalized(s)) return;
+
+  // Ask for a view change at the lowest aborted (unfinalized) slot (§6.2).
+  const Slot target_slot = lowest_unfinalized_started();
+  SlotState* tst = slot_state(target_slot, true);
+  if (tst != nullptr) {
+    const View target = std::max(tst->view + 1, tst->highest_vc_sent);
+    tst->highest_vc_sent = target;
+    ctx().metrics().counter("multishot.viewchange.sent").add();
+    broadcast_ms(MsViewChange{target_slot, target});
+  }
+  arm_timer(s);  // retransmission against pre-GST loss
+}
+
+void MultishotNode::handle(NodeId from, const MsChainInfo& m) {
+  bool adopted_any = false;
+  for (const Block& b : m.blocks) {
+    if (b.slot < chain_.first_unfinalized() ||
+        b.slot > chain_.first_unfinalized() + kClaimWindow) {
+      continue;
+    }
+    const auto key = std::make_pair(b.slot, b.hash());
+    claimed_blocks_[key] = b;
+    chain_claims_[key].insert(from);
+  }
+  // Adopt blocks with f+1 claims, in chain order.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const Slot s = chain_.first_unfinalized();
+    for (const auto& [key, senders] : chain_claims_) {
+      if (key.first != s || !qp_.is_blocking(senders.size())) continue;
+      const Block& b = claimed_blocks_.at(key);
+      if (chain_.force_finalize(b)) {
+        ctx().report_decision(b.slot, b.value());
+        progress = true;
+        adopted_any = true;
+        break;
+      }
+    }
+  }
+  if (adopted_any) {
+    prune_slots();
+    // The freshly adopted chain may unblock voting/proposing.
+    const Slot next = chain_.first_unfinalized();
+    try_vote(next);
+    try_propose(next);
+  }
+}
+
+}  // namespace tbft::multishot

@@ -1,0 +1,186 @@
+#pragma once
+// The Multi-shot (pipelined) TetraBFT node, paper §6.
+//
+// Good case (§6.1, Fig. 2): the leader of slot s+1 proposes as soon as it
+// receives the proposal for slot s; a node votes for block b_s once b_{s-1}
+// is notarized (a quorum of votes) and b_s extends it. One vote message per
+// slot carries the four implicit phases of the four preceding slots, so a
+// block is notarized every message delay and finalized when four
+// consecutive parent-linked notarizations exist (depth-4 commit rule).
+//
+// View change (§6.2, Fig. 3, Algorithms 2-3): per-slot 9*Delta timers; a
+// timeout broadcasts a view-change naming the lowest unfinalized slot;
+// n-f view-changes move every started slot >= s to the new view, abort
+// their tentative blocks, and trigger per-slot suggest/proof exchange so
+// leaders re-propose safe values under Rules 1/3 (reused verbatim from the
+// single-shot rules engine, with block hashes as values).
+//
+// Engineering completions mirroring the single-shot node (DESIGN.md §7):
+// monotone view-change counting per slot, and ChainInfo catch-up answered
+// to view-changes for already-finalized slots (adopted on f+1 matching
+// claims).
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/rules.hpp"
+#include "core/vote_record.hpp"
+#include "multishot/chain.hpp"
+#include "multishot/messages.hpp"
+#include "sim/runtime.hpp"
+
+namespace tbft::multishot {
+
+struct MultishotConfig {
+  std::uint32_t n{4};
+  std::uint32_t f{1};
+  sim::SimTime delta_bound{10 * sim::kMillisecond};
+  std::uint32_t timeout_delta_multiple{9};
+  /// Leaders do not propose blocks for slots beyond this (0 = unbounded).
+  Slot max_slots{0};
+  /// Payload bytes attached to fresh blocks when the mempool is empty.
+  std::uint32_t default_payload_bytes{8};
+
+  [[nodiscard]] QuorumParams quorum_params() const { return {n, f}; }
+  [[nodiscard]] sim::SimTime view_timeout() const {
+    return static_cast<sim::SimTime>(timeout_delta_multiple) * delta_bound;
+  }
+  /// Per-(slot, view) rotating leader; view 0 walks the ring slot by slot.
+  [[nodiscard]] NodeId leader_of(Slot s, View v) const {
+    return static_cast<NodeId>((s + static_cast<std::uint64_t>(v)) % n);
+  }
+};
+
+class MultishotNode : public sim::ProtocolNode {
+ public:
+  explicit MultishotNode(MultishotConfig cfg);
+
+  void on_start() override;
+  void on_message(NodeId from, std::span<const std::uint8_t> payload) override;
+  void on_timer(sim::TimerId id) override;
+
+  /// Submit a transaction; included in the next fresh block this node
+  /// proposes, removed once observed in the finalized chain.
+  void submit_tx(std::vector<std::uint8_t> tx);
+
+  [[nodiscard]] const ChainStore& chain() const noexcept { return chain_; }
+  [[nodiscard]] const std::vector<Block>& finalized_chain() const noexcept {
+    return chain_.finalized_chain();
+  }
+  [[nodiscard]] View view_of(Slot s) const;
+  [[nodiscard]] const MultishotConfig& config() const noexcept { return cfg_; }
+
+  /// Bench instrumentation: record the first time each slot notarizes /
+  /// each proposal for a slot arrives (unbounded; off by default).
+  void set_record_timeline(bool on) noexcept { record_timeline_ = on; }
+  [[nodiscard]] const std::map<Slot, sim::SimTime>& notarized_at() const noexcept {
+    return notarized_at_;
+  }
+  [[nodiscard]] const std::map<Slot, sim::SimTime>& first_proposal_at() const noexcept {
+    return first_proposal_at_;
+  }
+
+  /// True iff `tx` appears in some finalized block's payload.
+  [[nodiscard]] bool tx_finalized(std::span<const std::uint8_t> tx) const;
+
+ protected:
+  // Byzantine subclasses override.
+  virtual void do_propose(Slot s, View v, const Block& block);
+
+  void broadcast_ms(const MsMessage& m) { ctx().broadcast(encode_ms(m)); }
+  void send_ms(NodeId dst, const MsMessage& m) { ctx().send(dst, encode_ms(m)); }
+
+ private:
+  struct SlotState {
+    bool started{false};
+    View view{0};
+    sim::TimerId timer{0};
+    View highest_vc_sent{kNoView};
+    std::vector<View> vc_highest;                    // per sender
+    std::map<View, std::uint64_t> proposal_by_view;  // leader's block hash
+    std::map<std::pair<View, std::uint64_t>, std::set<NodeId>> votes;
+    std::map<View, std::uint64_t> voted;  // my head vote per view
+    bool proposed{false};                 // I proposed in the current view
+    core::VoteRecord record;              // implicit per-slot phase history
+    std::vector<std::optional<MsSuggest>> suggests;  // latest per sender
+    std::vector<std::optional<MsProof>> proofs;      // latest per sender
+  };
+
+  SlotState* slot_state(Slot s, bool create);
+  void start_slot(Slot s);
+  void arm_timer(Slot s);
+
+  void try_propose(Slot s);
+  void try_vote(Slot s);
+  void record_vote_effects(Slot s, View v, const Block& head);
+  void on_notarized(Slot s);
+  void finalize_progress();
+
+  void handle(NodeId from, const MsProposal& m);
+  void handle(NodeId from, const MsVote& m);
+  void handle(NodeId from, const MsSuggest& m);
+  void handle(NodeId from, const MsProof& m);
+  void handle(NodeId from, const MsViewChange& m);
+  void handle(NodeId from, const MsChainInfo& m);
+
+  void change_view(Slot from_slot, View new_view);
+  [[nodiscard]] Slot lowest_unfinalized_started() const;
+  [[nodiscard]] std::optional<std::uint64_t> parent_for_proposal(Slot s) const;
+  [[nodiscard]] std::vector<std::uint8_t> build_payload(View view);
+  void prune_slots();
+
+  MultishotConfig cfg_;
+  QuorumParams qp_;
+  ChainStore chain_;
+  std::map<Slot, SlotState> slots_;
+  std::map<sim::TimerId, Slot> timer_slots_;
+  std::deque<std::vector<std::uint8_t>> mempool_;
+
+  // ChainInfo adoption claims: (slot, hash) -> claiming senders.
+  std::map<std::pair<Slot, std::uint64_t>, std::set<NodeId>> chain_claims_;
+  std::map<std::pair<Slot, std::uint64_t>, Block> claimed_blocks_;
+
+  bool record_timeline_{false};
+  std::map<Slot, sim::SimTime> notarized_at_;
+  std::map<Slot, sim::SimTime> first_proposal_at_;
+};
+
+/// Honest except it never proposes for the slots in `skip` (at any view):
+/// drives the Fig. 3 failed-block scenario deterministically.
+class SelectiveSilentLeader : public MultishotNode {
+ public:
+  SelectiveSilentLeader(MultishotConfig cfg, std::set<Slot> skip)
+      : MultishotNode(cfg), skip_(std::move(skip)) {}
+
+ protected:
+  void do_propose(Slot s, View v, const Block& block) override {
+    if (skip_.count(s) > 0) return;
+    MultishotNode::do_propose(s, v, block);
+  }
+
+ private:
+  std::set<Slot> skip_;
+};
+
+/// Equivocating proposer: sends two different blocks for its slots to the
+/// two halves of the network.
+class EquivocatingProposer : public MultishotNode {
+ public:
+  explicit EquivocatingProposer(MultishotConfig cfg) : MultishotNode(cfg) {}
+
+ protected:
+  void do_propose(Slot s, View v, const Block& block) override {
+    Block alt = block;
+    alt.payload.push_back(0xEE);  // different content, same parent
+    const std::uint32_t n = config().n;
+    for (NodeId dst = 0; dst < n; ++dst) {
+      send_ms(dst, MsProposal{s, v, dst < n / 2 ? block : alt});
+    }
+  }
+};
+
+}  // namespace tbft::multishot

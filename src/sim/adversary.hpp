@@ -1,0 +1,60 @@
+#pragma once
+// Protocol-agnostic adversarial building blocks:
+//  - SilentNode: a crashed / perpetually silent participant (the classic
+//    "f silent nodes" fault load);
+//  - RandomJunkNode: spews malformed bytes and random garbage, exercising
+//    every decoder's total-input handling;
+//  - network adversary factories: partition-until-GST and targeted-delay
+//    schedules for the Network's AdversaryHook.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+#include "sim/runtime.hpp"
+
+namespace tbft::sim {
+
+/// Does nothing, ever (a crash fault, the weakest Byzantine behavior).
+class SilentNode final : public ProtocolNode {
+ public:
+  void on_start() override {}
+  void on_message(NodeId, std::span<const std::uint8_t>) override {}
+  void on_timer(TimerId) override {}
+};
+
+/// Periodically broadcasts random byte strings. Honest decoders must treat
+/// them as malformed and survive.
+class RandomJunkNode final : public ProtocolNode {
+ public:
+  explicit RandomJunkNode(SimTime period) : period_(period) {}
+
+  void on_start() override { ctx().set_timer(period_); }
+  void on_message(NodeId, std::span<const std::uint8_t>) override {}
+  void on_timer(TimerId) override {
+    auto& rng = ctx().rng();
+    std::vector<std::uint8_t> junk(rng.index(64) + 1);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    ctx().broadcast(std::move(junk));
+    ctx().set_timer(period_);
+  }
+
+ private:
+  SimTime period_;
+};
+
+/// Adversary hook: before GST, drop every message crossing the partition
+/// between `group_a` and its complement; after GST the hook defers to the
+/// stochastic model (returns nullopt).
+AdversaryHook make_partition_until_gst(std::vector<NodeId> group_a, SimTime gst);
+
+/// Adversary hook: messages to `victims` are delayed to exactly
+/// send_time + delay (clamped to Delta post-GST); others use the default.
+AdversaryHook make_targeted_delay(std::vector<NodeId> victims, SimTime delay);
+
+/// Adversary hook: drop (pre-GST only) every message whose type tag is in
+/// `tags` and whose destination is in `victims`.
+AdversaryHook make_selective_drop(std::vector<std::uint8_t> tags, std::vector<NodeId> victims,
+                                  SimTime gst);
+
+}  // namespace tbft::sim

@@ -1,0 +1,30 @@
+#include "sim/event_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace tbft::sim {
+
+void EventQueue::schedule_at(SimTime at, Callback fn) {
+  TBFT_ASSERT_MSG(at >= now_, "cannot schedule events in the past");
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run_until(SimTime deadline) {
+  while (!heap_.empty() && heap_.top().at <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace tbft::sim

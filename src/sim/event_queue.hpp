@@ -1,0 +1,54 @@
+#pragma once
+// Deterministic discrete-event queue. Events at equal timestamps fire in
+// insertion order (monotone sequence numbers), so a simulation run is a pure
+// function of its configuration and seed.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tbft::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `at` (must be >= current time).
+  void schedule_at(SimTime at, Callback fn);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] SimTime next_time() const noexcept {
+    return heap_.empty() ? kNever : heap_.top().at;
+  }
+
+  /// Pop and run the earliest event; advances now(). Returns false if empty.
+  bool step();
+
+  /// Run events until the queue drains or the next event is after `deadline`.
+  /// now() ends at min(deadline, time of last executed event).
+  void run_until(SimTime deadline);
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_{0};
+  SimTime now_{0};
+};
+
+}  // namespace tbft::sim

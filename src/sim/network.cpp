@@ -1,0 +1,52 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace tbft::sim {
+
+SimTime Network::draw_post_gst_delay() {
+  switch (cfg_.model) {
+    case DelayModel::Constant:
+      return cfg_.delta_actual;
+    case DelayModel::Uniform: {
+      const auto lo = static_cast<std::uint64_t>(cfg_.delta_min);
+      const auto hi = static_cast<std::uint64_t>(cfg_.delta_actual);
+      return static_cast<SimTime>(rng_.uniform(lo, std::max(lo, hi)));
+    }
+  }
+  return cfg_.delta_actual;
+}
+
+std::optional<SimTime> Network::schedule(const Envelope& env, SimTime send_time) {
+  const bool post_gst = send_time >= cfg_.gst;
+
+  if (adversary_) {
+    if (auto decision = adversary_(env, send_time)) {
+      if (decision->drop) {
+        // Partial synchrony forbids dropping post-GST sends; an adversary
+        // asking for that is a test bug.
+        TBFT_ASSERT_MSG(!post_gst, "adversary cannot drop a post-GST message");
+        return std::nullopt;
+      }
+      SimTime at = std::max(decision->deliver_at, send_time);
+      if (post_gst) at = std::min(at, send_time + cfg_.delta_bound);
+      return at;
+    }
+  }
+
+  if (post_gst) {
+    const SimTime delay = std::min(draw_post_gst_delay(), cfg_.delta_bound);
+    return send_time + delay;
+  }
+
+  // Asynchronous period: drop or delay arbitrarily.
+  if (rng_.bernoulli(cfg_.pre_gst_drop_prob)) return std::nullopt;
+  const auto lo = static_cast<std::uint64_t>(cfg_.pre_gst_delay_min);
+  const auto hi = static_cast<std::uint64_t>(std::max(cfg_.pre_gst_delay_min,
+                                                      cfg_.pre_gst_delay_max));
+  return send_time + static_cast<SimTime>(rng_.uniform(lo, hi));
+}
+
+}  // namespace tbft::sim

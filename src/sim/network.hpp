@@ -1,0 +1,90 @@
+#pragma once
+// Partial-synchrony network model (Dwork-Lynch-Stockmeyer, paper §2):
+//
+//  - before GST the network is asynchronous: messages may be dropped or
+//    delayed arbitrarily (with constant storage the protocol must tolerate
+//    pre-GST loss);
+//  - every message *sent at or after* GST is delivered within Delta;
+//  - channels are authenticated: the receiver learns the true sender, but
+//    nothing a node receives is transferable proof (no signatures anywhere).
+//
+// An optional per-message adversary hook lets tests craft worst-case
+// schedules while the model still enforces the post-GST Delta bound.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/time.hpp"
+
+namespace tbft::sim {
+
+struct Envelope {
+  NodeId src{0};
+  NodeId dst{0};
+  std::vector<std::uint8_t> payload;
+};
+
+/// How post-GST actual delays are drawn. `delta_actual` is the paper's
+/// `delta` (real network speed), always <= `delta_bound` (the known Delta).
+enum class DelayModel : std::uint8_t {
+  Constant,  // every message takes exactly delta_actual
+  Uniform,   // uniform in [delta_min, delta_actual]
+};
+
+struct NetworkConfig {
+  /// Global stabilization time. 0 means synchronous from the start.
+  SimTime gst{0};
+  /// Known worst-case post-GST delay (the paper's Delta). Used by protocol
+  /// timeouts; the model asserts actual delays never exceed it post-GST.
+  SimTime delta_bound{10 * kMillisecond};
+  /// Actual network speed (the paper's delta <= Delta).
+  SimTime delta_actual{1 * kMillisecond};
+  SimTime delta_min{1 * kMillisecond};
+  DelayModel model{DelayModel::Constant};
+
+  /// Pre-GST behavior: drop probability and the delay range for survivors.
+  double pre_gst_drop_prob{0.5};
+  SimTime pre_gst_delay_min{1 * kMillisecond};
+  SimTime pre_gst_delay_max{50 * kMillisecond};
+};
+
+/// Verdict of the adversary hook for one message.
+struct DeliveryDecision {
+  bool drop{false};
+  /// Absolute delivery time; ignored when drop. Post-GST sends are clamped to
+  /// send_time + delta_bound regardless, preserving partial synchrony.
+  SimTime deliver_at{0};
+};
+
+/// Adversary hook: full control over per-message fate, subject to the
+/// post-GST Delta clamp. Return nullopt to fall back to the stochastic model.
+using AdversaryHook =
+    std::function<std::optional<DeliveryDecision>(const Envelope&, SimTime send_time)>;
+
+/// Computes delivery schedules. Stateless apart from the RNG; the runtime
+/// enqueues the resulting events.
+class Network {
+ public:
+  Network(NetworkConfig cfg, Rng rng) : cfg_(cfg), rng_(rng) {}
+
+  void set_adversary(AdversaryHook hook) { adversary_ = std::move(hook); }
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return cfg_; }
+  void set_gst(SimTime gst) noexcept { cfg_.gst = gst; }
+
+  /// Decide the fate of a message sent at `send_time`. Returns nullopt when
+  /// the message is dropped (only possible before GST).
+  std::optional<SimTime> schedule(const Envelope& env, SimTime send_time);
+
+ private:
+  SimTime draw_post_gst_delay();
+
+  NetworkConfig cfg_;
+  Rng rng_;
+  AdversaryHook adversary_;
+};
+
+}  // namespace tbft::sim

@@ -1,0 +1,122 @@
+#include "sim/runtime.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace tbft::sim {
+
+class Simulation::Context final : public NodeContext {
+ public:
+  Context(Simulation& sim, NodeId id, Rng rng) : sim_(sim), id_(id), rng_(rng) {}
+
+  [[nodiscard]] NodeId id() const override { return id_; }
+  [[nodiscard]] std::uint32_t n() const override { return sim_.node_count(); }
+  [[nodiscard]] SimTime now() const override { return sim_.queue_.now(); }
+
+  void send(NodeId dst, std::vector<std::uint8_t> payload) override {
+    sim_.dispatch_send(id_, dst, std::move(payload));
+  }
+
+  void broadcast(std::vector<std::uint8_t> payload) override {
+    const std::uint32_t n = sim_.node_count();
+    for (NodeId dst = 0; dst < n; ++dst) {
+      sim_.dispatch_send(id_, dst, payload);
+    }
+  }
+
+  TimerId set_timer(SimTime delay) override {
+    TBFT_ASSERT(delay >= 0);
+    const TimerId tid = sim_.next_timer_++;
+    const NodeId node = id_;
+    sim_.queue_.schedule_at(now() + delay, [this, tid, node] {
+      if (sim_.cancelled_timers_.erase(tid) > 0) return;
+      sim_.nodes_[node]->on_timer(tid);
+    });
+    return tid;
+  }
+
+  void cancel_timer(TimerId tid) override { sim_.cancelled_timers_.insert(tid); }
+
+  void report_decision(std::uint64_t stream, Value value) override {
+    sim_.trace_.record_decision(DecisionRecord{id_, stream, value, now()});
+  }
+
+  MetricsRegistry& metrics() override { return sim_.metrics_; }
+  Rng& rng() override { return rng_; }
+
+ private:
+  Simulation& sim_;
+  NodeId id_;
+  Rng rng_;
+};
+
+Simulation::Simulation(SimConfig cfg)
+    : cfg_(cfg), network_(cfg.net, Rng(mix64(cfg.seed) ^ 0x6e657477ULL)), rng_(cfg.seed) {
+  trace_.set_keep_messages(cfg.keep_message_trace);
+}
+
+Simulation::~Simulation() = default;
+
+NodeId Simulation::add_node(std::unique_ptr<ProtocolNode> node) {
+  TBFT_ASSERT_MSG(!started_, "cannot add nodes after start()");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  contexts_.push_back(std::make_unique<Context>(*this, id, rng_.fork()));
+  node->bind(*contexts_.back());
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void Simulation::start() {
+  TBFT_ASSERT_MSG(!started_, "start() called twice");
+  started_ = true;
+  for (auto& node : nodes_) node->on_start();
+}
+
+void Simulation::dispatch_send(NodeId src, NodeId dst, std::vector<std::uint8_t> payload) {
+  TBFT_ASSERT(dst < nodes_.size());
+  const SimTime sent_at = queue_.now();
+  const std::uint8_t tag = payload.empty() ? 0 : payload.front();
+
+  if (src == dst) {
+    // Self-delivery: instantaneous, free (no network traversal). Scheduled as
+    // an event so handlers never re-enter each other.
+    queue_.schedule_at(sent_at, [this, src, payload = std::move(payload)] {
+      nodes_[src]->on_message(src, payload);
+    });
+    return;
+  }
+
+  Envelope env{src, dst, std::move(payload)};
+  const auto bytes = static_cast<std::uint32_t>(env.payload.size());
+  const auto deliver_at = network_.schedule(env, sent_at);
+
+  MessageRecord rec{src, dst, bytes, tag, sent_at, deliver_at.value_or(kNever),
+                    !deliver_at.has_value()};
+  trace_.record_send(rec);
+
+  if (!deliver_at) return;  // dropped during asynchrony
+  queue_.schedule_at(*deliver_at, [this, env = std::move(env)]() mutable {
+    deliver(std::move(env));
+  });
+}
+
+void Simulation::deliver(Envelope env) {
+  nodes_[env.dst]->on_message(env.src, env.payload);
+}
+
+void Simulation::run_until(SimTime deadline) { queue_.run_until(deadline); }
+
+bool Simulation::run_until_pred(const std::function<bool()>& pred, SimTime deadline) {
+  if (pred()) return true;
+  while (queue_.next_time() <= deadline) {
+    queue_.step();
+    if (pred()) return true;
+  }
+  return false;
+}
+
+void Simulation::run_to_quiescence(SimTime deadline) { queue_.run_until(deadline); }
+
+}  // namespace tbft::sim

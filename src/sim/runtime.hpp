@@ -1,0 +1,144 @@
+#pragma once
+// Simulation runtime: hosts N protocol nodes, routes messages through the
+// partial-synchrony Network, provides timers, and records a Trace.
+//
+// Protocol implementations derive from ProtocolNode and interact with the
+// world exclusively through their NodeContext -- the same shape a production
+// deployment would give them over sockets, which keeps protocol code
+// transport-agnostic.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+
+namespace tbft::sim {
+
+using TimerId = std::uint64_t;
+
+/// Services a node may use. Implemented by the Simulation.
+class NodeContext {
+ public:
+  virtual ~NodeContext() = default;
+
+  [[nodiscard]] virtual NodeId id() const = 0;
+  [[nodiscard]] virtual std::uint32_t n() const = 0;
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Point-to-point send. Self-sends are delivered immediately (local
+  /// computation is instantaneous in the model) and cost no network bytes.
+  virtual void send(NodeId dst, std::vector<std::uint8_t> payload) = 0;
+
+  /// Send to every node, including self (protocol pseudo-code counts a
+  /// node's own broadcast toward its quorums).
+  virtual void broadcast(std::vector<std::uint8_t> payload) = 0;
+
+  /// One-shot timer firing at now()+delay. Returns an id passed to on_timer.
+  virtual TimerId set_timer(SimTime delay) = 0;
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Report a decision (single-shot) or a finalization (multi-shot, keyed by
+  /// stream = slot). Recorded in the Trace for agreement/latency checks.
+  virtual void report_decision(std::uint64_t stream, Value value) = 0;
+
+  /// Per-run metrics shared by all nodes (protocol-specific counters).
+  virtual MetricsRegistry& metrics() = 0;
+
+  /// Deterministic per-node randomness.
+  virtual Rng& rng() = 0;
+};
+
+/// A protocol node. All entry points run to completion instantly in
+/// simulated time.
+class ProtocolNode {
+ public:
+  virtual ~ProtocolNode() = default;
+
+  /// Called once before any message/timer, after the context is bound.
+  virtual void on_start() = 0;
+  /// `from` is the authenticated channel identity of the sender.
+  virtual void on_message(NodeId from, std::span<const std::uint8_t> payload) = 0;
+  virtual void on_timer(TimerId id) = 0;
+
+  void bind(NodeContext& ctx) noexcept { ctx_ = &ctx; }
+
+ protected:
+  [[nodiscard]] NodeContext& ctx() const {
+    return *ctx_;
+  }
+
+ private:
+  NodeContext* ctx_{nullptr};
+};
+
+struct SimConfig {
+  NetworkConfig net{};
+  std::uint64_t seed{1};
+  bool keep_message_trace{true};
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimConfig cfg);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Nodes must be added before start() in NodeId order (id = index).
+  NodeId add_node(std::unique_ptr<ProtocolNode> node);
+
+  /// Calls on_start on every node (at time 0 unless the clock advanced).
+  void start();
+
+  void run_until(SimTime deadline);
+  /// Run until `pred()` holds, checking after each event; returns true if the
+  /// predicate held before `deadline`.
+  bool run_until_pred(const std::function<bool()>& pred, SimTime deadline);
+  /// Drain all events (stops at deadline as a safety net).
+  void run_to_quiescence(SimTime deadline = 3600 * kSecond);
+
+  [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  [[nodiscard]] Network& network() noexcept { return network_; }
+  [[nodiscard]] Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] ProtocolNode& node(NodeId id) { return *nodes_.at(id); }
+
+  template <class T>
+  [[nodiscard]] T& node_as(NodeId id) {
+    return dynamic_cast<T&>(*nodes_.at(id));
+  }
+
+ private:
+  class Context;
+
+  void deliver(Envelope env);
+  void dispatch_send(NodeId src, NodeId dst, std::vector<std::uint8_t> payload);
+
+  SimConfig cfg_;
+  EventQueue queue_;
+  Network network_;
+  Trace trace_;
+  MetricsRegistry metrics_;
+  Rng rng_;
+  std::vector<std::unique_ptr<ProtocolNode>> nodes_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  TimerId next_timer_{1};
+  std::unordered_set<TimerId> cancelled_timers_;
+  bool started_{false};
+};
+
+}  // namespace tbft::sim

@@ -1,0 +1,19 @@
+#pragma once
+// Simulated time. One tick is one simulated microsecond; helpers keep
+// experiment configs readable. Local computation is instantaneous (paper §2),
+// so time advances only through message delays and timers.
+
+#include <cstdint>
+
+namespace tbft::sim {
+
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Sentinel for "never".
+inline constexpr SimTime kNever = INT64_MAX;
+
+}  // namespace tbft::sim

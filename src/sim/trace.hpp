@@ -1,0 +1,104 @@
+#pragma once
+// Run traces: per-message accounting (for the Table 1 communicated-bits
+// columns) and per-node decision records (for latency and agreement checks).
+// The first payload byte of every wire message is its type tag, which the
+// trace keeps so benches can attribute bytes to protocol phases.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/time.hpp"
+
+namespace tbft::sim {
+
+struct MessageRecord {
+  NodeId src{0};
+  NodeId dst{0};
+  std::uint32_t bytes{0};
+  std::uint8_t type_tag{0};
+  SimTime sent_at{0};
+  SimTime delivered_at{0};  // kNever when dropped
+  bool dropped{false};
+};
+
+struct DecisionRecord {
+  NodeId node{0};
+  std::uint64_t stream{0};  // 0 for single-shot; slot for multi-shot
+  Value value{};
+  SimTime at{0};
+};
+
+class Trace {
+ public:
+  /// Message recording is optional (benches with huge runs can disable it);
+  /// aggregate counters are always kept.
+  void set_keep_messages(bool keep) noexcept { keep_messages_ = keep; }
+
+  void record_send(const MessageRecord& rec) {
+    total_messages_ += 1;
+    total_bytes_ += rec.bytes;
+    if (rec.dropped) dropped_messages_ += 1;
+    bytes_by_type_[rec.type_tag] += rec.bytes;
+    messages_by_type_[rec.type_tag] += 1;
+    if (keep_messages_) messages_.push_back(rec);
+  }
+
+  void record_decision(const DecisionRecord& rec) { decisions_.push_back(rec); }
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_messages_; }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::uint64_t dropped_messages() const noexcept { return dropped_messages_; }
+  [[nodiscard]] const std::map<std::uint8_t, std::uint64_t>& bytes_by_type() const noexcept {
+    return bytes_by_type_;
+  }
+  [[nodiscard]] const std::map<std::uint8_t, std::uint64_t>& messages_by_type() const noexcept {
+    return messages_by_type_;
+  }
+  [[nodiscard]] const std::vector<MessageRecord>& messages() const noexcept { return messages_; }
+  [[nodiscard]] const std::vector<DecisionRecord>& decisions() const noexcept {
+    return decisions_;
+  }
+
+  /// First decision of `node` on `stream`, if any.
+  [[nodiscard]] std::optional<DecisionRecord> decision_of(NodeId node,
+                                                          std::uint64_t stream = 0) const {
+    for (const auto& d : decisions_) {
+      if (d.node == node && d.stream == stream) return d;
+    }
+    return std::nullopt;
+  }
+
+  /// True iff no two decisions on the same stream carry different values.
+  [[nodiscard]] bool agreement_holds() const {
+    std::map<std::uint64_t, Value> first;
+    for (const auto& d : decisions_) {
+      auto [it, inserted] = first.emplace(d.stream, d.value);
+      if (!inserted && !(it->second == d.value)) return false;
+    }
+    return true;
+  }
+
+  void reset_message_counters() noexcept {
+    total_messages_ = 0;
+    total_bytes_ = 0;
+    dropped_messages_ = 0;
+    bytes_by_type_.clear();
+    messages_by_type_.clear();
+    messages_.clear();
+  }
+
+ private:
+  bool keep_messages_{true};
+  std::uint64_t total_messages_{0};
+  std::uint64_t total_bytes_{0};
+  std::uint64_t dropped_messages_{0};
+  std::map<std::uint8_t, std::uint64_t> bytes_by_type_;
+  std::map<std::uint8_t, std::uint64_t> messages_by_type_;
+  std::vector<MessageRecord> messages_;
+  std::vector<DecisionRecord> decisions_;
+};
+
+}  // namespace tbft::sim

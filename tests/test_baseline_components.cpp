@@ -1,0 +1,97 @@
+// Unit tests for the shared baseline building blocks (monotone view-change
+// counting, per-sender vote tallies) used by IT-HS and PBFT.
+
+#include <gtest/gtest.h>
+
+#include "baselines/common.hpp"
+
+namespace tbft::baselines {
+namespace {
+
+TEST(ViewChangeCounter, MonotonePerSender) {
+  ViewChangeCounter c;
+  c.reset(4);
+  EXPECT_TRUE(c.observe(0, 3));
+  EXPECT_FALSE(c.observe(0, 3));  // duplicate
+  EXPECT_FALSE(c.observe(0, 1));  // regression
+  EXPECT_TRUE(c.observe(0, 5));
+}
+
+TEST(ViewChangeCounter, KthHighestSemantics) {
+  ViewChangeCounter c;
+  c.reset(4);
+  c.observe(0, 5);
+  c.observe(1, 3);
+  c.observe(2, 3);
+  // Sorted descending: 5, 3, 3, -1.
+  EXPECT_EQ(c.kth_highest(1), 5);
+  EXPECT_EQ(c.kth_highest(2), 3);
+  EXPECT_EQ(c.kth_highest(3), 3);  // 3 senders support view 3
+  EXPECT_EQ(c.kth_highest(4), kNoView);
+}
+
+TEST(ViewChangeCounter, HigherViewSupportsLowerEntry) {
+  // The monotone-counting liveness fix: one sender at view 9 supports
+  // entering views 1..9.
+  ViewChangeCounter c;
+  c.reset(4);
+  c.observe(0, 9);
+  c.observe(1, 2);
+  c.observe(2, 1);
+  EXPECT_EQ(c.kth_highest(3), 1);  // quorum of 3 supports view 1
+  EXPECT_EQ(c.kth_highest(2), 2);  // blocking set of 2 supports view 2
+}
+
+TEST(VoteTally, FirstVotePerSenderWins) {
+  VoteTally t;
+  t.reset(4);
+  EXPECT_TRUE(t.record(1, Value{7}));
+  EXPECT_FALSE(t.record(1, Value{8}));  // equivocation dropped
+  EXPECT_EQ(t.count(Value{7}), 1u);
+  EXPECT_EQ(t.count(Value{8}), 0u);
+}
+
+TEST(VoteTally, CountsAndVotersPerValue) {
+  VoteTally t;
+  t.reset(5);
+  t.record(0, Value{1});
+  t.record(2, Value{1});
+  t.record(3, Value{2});
+  EXPECT_EQ(t.count(Value{1}), 2u);
+  EXPECT_EQ(t.count(Value{2}), 1u);
+  EXPECT_EQ(t.voters(Value{1}), (std::vector<NodeId>{0, 2}));
+  EXPECT_TRUE(t.voters(Value{9}).empty());
+}
+
+TEST(VoteTally, ResetClears) {
+  VoteTally t;
+  t.reset(3);
+  t.record(0, Value{1});
+  t.reset(3);
+  EXPECT_EQ(t.count(Value{1}), 0u);
+  EXPECT_TRUE(t.record(0, Value{1}));
+}
+
+TEST(BaselineConfig, QuorumArithmeticAndTimeout) {
+  BaselineConfig cfg;
+  cfg.n = 7;
+  cfg.f = 2;
+  cfg.delta_bound = 10 * sim::kMillisecond;
+  cfg.timeout_delta_multiple = 10;
+  EXPECT_EQ(cfg.quorum_params().quorum_size(), 5u);
+  EXPECT_EQ(cfg.quorum_params().blocking_size(), 3u);
+  EXPECT_EQ(cfg.view_timeout(), 100 * sim::kMillisecond);
+  EXPECT_EQ(cfg.leader_of(0), 0u);
+  EXPECT_EQ(cfg.leader_of(8), 1u);
+}
+
+TEST(QuorumParamsUnit, RejectsBadConfigurations) {
+  EXPECT_THROW(QuorumParams(3, 1), std::invalid_argument);
+  EXPECT_THROW(QuorumParams(0, 0), std::invalid_argument);
+  EXPECT_NO_THROW(QuorumParams(4, 1));
+  EXPECT_EQ(QuorumParams::max_faults(10).f(), 3u);
+  EXPECT_EQ(QuorumParams::max_faults(4).f(), 1u);
+}
+
+}  // namespace
+}  // namespace tbft::baselines

@@ -1,0 +1,176 @@
+#include "multishot/chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tbft::multishot {
+namespace {
+
+Block mk(Slot slot, std::uint64_t parent, NodeId proposer = 0) {
+  return Block{slot, parent, proposer, {1, 2, 3}};
+}
+
+TEST(Block, HashCommitsToAllFields) {
+  const Block base = mk(1, kGenesisHash);
+  Block other = base;
+  other.slot = 2;
+  EXPECT_NE(base.hash(), other.hash());
+  other = base;
+  other.parent_hash = 99;
+  EXPECT_NE(base.hash(), other.hash());
+  other = base;
+  other.proposer = 3;
+  EXPECT_NE(base.hash(), other.hash());
+  other = base;
+  other.payload.push_back(0);
+  EXPECT_NE(base.hash(), other.hash());
+}
+
+TEST(Block, SerdeRoundtrip) {
+  const Block b = mk(7, 12345, 2);
+  serde::Writer w;
+  b.encode(w);
+  serde::Reader r(w.data());
+  EXPECT_EQ(Block::decode(r), b);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Chain, GenesisIsImplicitlyNotarized) {
+  ChainStore c;
+  const auto n = c.notarized(0);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->hash, kGenesisHash);
+  EXPECT_EQ(c.required_parent(1), kGenesisHash);
+  EXPECT_EQ(c.first_unfinalized(), 1u);
+}
+
+TEST(Chain, FinalizationNeedsFourConsecutiveNotarizations) {
+  ChainStore c;
+  std::uint64_t parent = kGenesisHash;
+  std::vector<Block> blocks;
+  for (Slot s = 1; s <= 4; ++s) {
+    Block b = mk(s, parent);
+    parent = b.hash();
+    c.add_block(b);
+    blocks.push_back(b);
+  }
+  for (Slot s = 1; s <= 3; ++s) {
+    c.notarize(s, 0, blocks[s - 1].hash());
+    EXPECT_EQ(c.try_finalize(), 0u) << "premature finalization at slot " << s;
+  }
+  c.notarize(4, 0, blocks[3].hash());
+  EXPECT_EQ(c.try_finalize(), 1u);
+  ASSERT_EQ(c.finalized_chain().size(), 1u);
+  EXPECT_EQ(c.finalized_chain()[0], blocks[0]);
+  EXPECT_EQ(c.first_unfinalized(), 2u);
+}
+
+TEST(Chain, PrefixFinalizesTogether) {
+  // Notarize slots 1..7; the finalization sweep commits 1..4 at once.
+  ChainStore c;
+  std::uint64_t parent = kGenesisHash;
+  std::vector<Block> blocks;
+  for (Slot s = 1; s <= 7; ++s) {
+    Block b = mk(s, parent);
+    parent = b.hash();
+    c.add_block(b);
+    c.notarize(s, 0, b.hash());
+    blocks.push_back(b);
+  }
+  EXPECT_EQ(c.try_finalize(), 4u);  // slots 1..4 (suffix 5,6,7 remains)
+  EXPECT_EQ(c.first_unfinalized(), 5u);
+}
+
+TEST(Chain, BrokenParentLinkBlocksFinalization) {
+  ChainStore c;
+  Block b1 = mk(1, kGenesisHash);
+  Block b2 = mk(2, b1.hash());
+  Block b3 = mk(3, 0xBAD);  // does not extend b2
+  Block b4 = mk(4, b3.hash());
+  for (const auto& b : {b1, b2, b3, b4}) {
+    c.add_block(b);
+    c.notarize(b.slot, 0, b.hash());
+  }
+  EXPECT_EQ(c.try_finalize(), 0u);
+  EXPECT_EQ(c.notarized_suffix_length(), 2u);  // only b1, b2 chain up
+}
+
+TEST(Chain, HigherViewNotarizationOverridesLower) {
+  ChainStore c;
+  Block v0 = mk(1, kGenesisHash, 0);
+  Block v1 = mk(1, kGenesisHash, 1);
+  c.add_block(v0);
+  c.add_block(v1);
+  EXPECT_TRUE(c.notarize(1, 0, v0.hash()));
+  EXPECT_TRUE(c.notarize(1, 1, v1.hash()));
+  EXPECT_EQ(c.notarized(1)->hash, v1.hash());
+  // Lower view cannot roll it back; same view re-notarization is a no-op.
+  EXPECT_FALSE(c.notarize(1, 0, v0.hash()));
+  EXPECT_FALSE(c.notarize(1, 1, v1.hash()));
+  EXPECT_EQ(c.notarized(1)->hash, v1.hash());
+}
+
+TEST(Chain, MixedViewNotarizationsStillFinalize) {
+  // Fig. 3: slots re-run at view 1 chain together with a view-0 slot.
+  ChainStore c;
+  Block b1 = mk(1, kGenesisHash, 1);
+  Block b2 = mk(2, b1.hash(), 2);
+  Block b3 = mk(3, b2.hash(), 3);
+  Block b4 = mk(4, b3.hash(), 0);
+  for (const auto& b : {b1, b2, b3}) {
+    c.add_block(b);
+    c.notarize(b.slot, 1, b.hash());
+  }
+  c.add_block(b4);
+  c.notarize(4, 0, b4.hash());
+  EXPECT_EQ(c.try_finalize(), 1u);
+  EXPECT_EQ(c.finalized_chain()[0], b1);
+}
+
+TEST(Chain, ForceFinalizeRequiresChainExtension) {
+  ChainStore c;
+  Block b1 = mk(1, kGenesisHash);
+  Block bogus = mk(1, 0xBAD);
+  EXPECT_FALSE(c.force_finalize(bogus));
+  EXPECT_TRUE(c.force_finalize(b1));
+  EXPECT_EQ(c.first_unfinalized(), 2u);
+  Block b3 = mk(3, b1.hash());
+  EXPECT_FALSE(c.force_finalize(b3));  // slot gap
+  Block b2 = mk(2, b1.hash());
+  EXPECT_TRUE(c.force_finalize(b2));
+}
+
+TEST(Chain, WindowRejectsFarFutureBlocks) {
+  ChainStore c;
+  EXPECT_FALSE(c.add_block(mk(ChainStore::kWindow + 2, 0)));
+  EXPECT_TRUE(c.add_block(mk(2, 0)));
+}
+
+TEST(Chain, FinalizationPrunesPendingState) {
+  ChainStore c;
+  std::uint64_t parent = kGenesisHash;
+  for (Slot s = 1; s <= 5; ++s) {
+    Block b = mk(s, parent);
+    parent = b.hash();
+    c.add_block(b);
+    c.notarize(s, 0, b.hash());
+  }
+  // A competing candidate for slot 1 should be pruned after finalization.
+  c.add_block(mk(1, kGenesisHash, 3));
+  const auto pending_before = c.pending_entries();
+  c.try_finalize();
+  EXPECT_LT(c.pending_entries(), pending_before);
+  EXPECT_EQ(c.find_block(1, mk(1, kGenesisHash, 3).hash()), nullptr);
+}
+
+TEST(Chain, NotarizedFinalizedSlotReportsChainHash) {
+  ChainStore c;
+  Block b1 = mk(1, kGenesisHash);
+  ASSERT_TRUE(c.force_finalize(b1));
+  const auto n = c.notarized(1);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->hash, b1.hash());
+  EXPECT_EQ(c.required_parent(2), b1.hash());
+}
+
+}  // namespace
+}  // namespace tbft::multishot

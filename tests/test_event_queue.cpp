@@ -1,0 +1,95 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace tbft::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(7);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, StepAdvancesNow) {
+  EventQueue q;
+  q.schedule_at(5, [] {});
+  EXPECT_EQ(q.now(), 0);
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(q.now(), 5);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunUntilStopsBeforeLaterEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(50, [&] { ++fired; });
+  q.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.next_time(), 50);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<SimTime> fire_times;
+  q.schedule_at(1, [&] {
+    fire_times.push_back(q.now());
+    q.schedule_at(q.now() + 1, [&] { fire_times.push_back(q.now()); });
+  });
+  q.run_until(10);
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{1, 2}));
+}
+
+TEST(EventQueue, EventAtExactDeadlineRuns) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule_at(10, [&] { fired = true; });
+  q.run_until(10);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run_until(10);
+  EXPECT_THROW(q.schedule_at(5, [] {}), InvariantViolation);
+}
+
+TEST(EventQueue, SizeTracksPending) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule_at(1, [] {});
+  q.schedule_at(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.step();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, NextTimeOnEmptyIsNever) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kNever);
+}
+
+}  // namespace
+}  // namespace tbft::sim

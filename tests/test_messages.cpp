@@ -1,0 +1,133 @@
+#include "core/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+
+namespace tbft::core {
+namespace {
+
+template <class T>
+T roundtrip_via_message(const T& msg) {
+  const auto bytes = encode_message(Message{msg});
+  const auto decoded = decode_message(bytes);
+  EXPECT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::holds_alternative<T>(*decoded));
+  return std::get<T>(*decoded);
+}
+
+TEST(Messages, ProposalRoundtrip) {
+  const Proposal p{42, Value{99}};
+  EXPECT_EQ(roundtrip_via_message(p), p);
+}
+
+TEST(Messages, VoteRoundtripAllPhases) {
+  for (std::uint8_t phase = 1; phase <= 4; ++phase) {
+    const Vote v{phase, 7, Value{123456789}};
+    EXPECT_EQ(roundtrip_via_message(v), v);
+  }
+}
+
+TEST(Messages, SuggestRoundtripWithAbsentVotes) {
+  Suggest s;
+  s.view = 3;
+  s.vote2 = VoteRef{2, Value{5}};
+  s.prev_vote2 = VoteRef{};  // absent
+  s.vote3 = VoteRef{1, Value{5}};
+  const auto back = roundtrip_via_message(s);
+  EXPECT_EQ(back, s);
+  EXPECT_FALSE(back.prev_vote2.present());
+}
+
+TEST(Messages, ProofRoundtrip) {
+  Proof p;
+  p.view = 9;
+  p.vote1 = VoteRef{8, Value{1}};
+  p.prev_vote1 = VoteRef{5, Value{2}};
+  p.vote4 = VoteRef{};
+  EXPECT_EQ(roundtrip_via_message(p), p);
+}
+
+TEST(Messages, ViewChangeRoundtrip) {
+  const ViewChange vc{17};
+  EXPECT_EQ(roundtrip_via_message(vc), vc);
+}
+
+TEST(Messages, DecodeRejectsUnknownTag) {
+  std::vector<std::uint8_t> bytes = {99, 0, 0};
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Messages, DecodeRejectsEmptyInput) {
+  EXPECT_FALSE(decode_message({}).has_value());
+}
+
+TEST(Messages, DecodeRejectsTruncatedVote) {
+  auto bytes = encode_message(Message{Vote{2, 3, Value{4}}});
+  bytes.resize(bytes.size() - 1);
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Messages, DecodeRejectsTrailingGarbage) {
+  auto bytes = encode_message(Message{ViewChange{1}});
+  bytes.push_back(0);
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Messages, DecodeRejectsInvalidVotePhase) {
+  auto bytes = encode_message(Message{Vote{4, 3, Value{4}}});
+  bytes[1] = 5;  // phase out of range
+  EXPECT_FALSE(decode_message(bytes).has_value());
+  bytes[1] = 0;
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Messages, DecodeRejectsNegativeView) {
+  auto bytes = encode_message(Message{Proposal{1, Value{2}}});
+  // View is an i64 right after the tag; overwrite with -5.
+  serde::Writer w;
+  w.i64(-5);
+  std::copy(w.data().begin(), w.data().end(), bytes.begin() + 1);
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Messages, ViewChangeForViewZeroRejected) {
+  auto bytes = encode_message(Message{ViewChange{1}});
+  serde::Writer w;
+  w.i64(0);
+  std::copy(w.data().begin(), w.data().end(), bytes.begin() + 1);
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Messages, DecideRoundtrip) {
+  serde::Writer w;
+  Decide{Value{77}}.encode(w);
+  serde::Reader r(w.data());
+  EXPECT_EQ(r.u8(), Decide::kTag);
+  const Decide d = Decide::decode(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(d.value, Value{77});
+}
+
+TEST(Messages, WireSizesAreCompact) {
+  // Communicated-bits accounting in bench_table1 relies on compact frames.
+  EXPECT_LE(encode_message(Message{Vote{1, 5, Value{9}}}).size(), 32u);
+  EXPECT_LE(encode_message(Message{Suggest{}}).size(), 64u);
+  EXPECT_LE(encode_message(Message{Proof{}}).size(), 64u);
+  EXPECT_LE(encode_message(Message{ViewChange{3}}).size(), 16u);
+}
+
+TEST(Messages, TagIsFirstByte) {
+  EXPECT_EQ(encode_message(Message{Proposal{}}).front(),
+            static_cast<std::uint8_t>(MsgType::Proposal));
+  EXPECT_EQ(encode_message(Message{Vote{1, 0, Value{}}}).front(),
+            static_cast<std::uint8_t>(MsgType::Vote));
+  EXPECT_EQ(encode_message(Message{Suggest{}}).front(),
+            static_cast<std::uint8_t>(MsgType::Suggest));
+  EXPECT_EQ(encode_message(Message{Proof{}}).front(), static_cast<std::uint8_t>(MsgType::Proof));
+  EXPECT_EQ(encode_message(Message{ViewChange{1}}).front(),
+            static_cast<std::uint8_t>(MsgType::ViewChange));
+}
+
+}  // namespace
+}  // namespace tbft::core

@@ -1,0 +1,67 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tbft {
+namespace {
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, HistogramSummaryStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST(Metrics, EmptyHistogramIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Metrics, PercentileInterpolates) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_NEAR(h.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(h.percentile(90), 90.1, 0.2);
+}
+
+TEST(Metrics, RegistryReturnsSameObjectByName) {
+  MetricsRegistry reg;
+  reg.counter("a").add(3);
+  reg.counter("a").add(4);
+  EXPECT_EQ(reg.counter("a").value(), 7u);
+  EXPECT_EQ(reg.counter("b").value(), 0u);
+  reg.histogram("h").record(1.5);
+  EXPECT_EQ(reg.histogram("h").count(), 1u);
+}
+
+TEST(Metrics, HistogramReset) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  h.record(2);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+}
+
+}  // namespace
+}  // namespace tbft

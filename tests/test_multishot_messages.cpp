@@ -1,0 +1,141 @@
+// Wire-format tests for the multi-shot message set: roundtrips, malformed
+// input rejection, and the decode bounds that protect against Byzantine
+// resource-exhaustion (ChainInfo block caps, slot-0 rejection).
+
+#include <gtest/gtest.h>
+
+#include "multishot/messages.hpp"
+
+namespace tbft::multishot {
+namespace {
+
+Block sample_block(Slot s = 3) {
+  Block b;
+  b.slot = s;
+  b.parent_hash = 0xABCDEF;
+  b.proposer = 2;
+  b.payload = {9, 8, 7};
+  return b;
+}
+
+template <class T>
+T roundtrip(const T& msg) {
+  const auto bytes = encode_ms(MsMessage{msg});
+  const auto decoded = decode_ms(bytes);
+  EXPECT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::holds_alternative<T>(*decoded));
+  return std::get<T>(*decoded);
+}
+
+TEST(MsMessages, ProposalRoundtrip) {
+  const MsProposal m{3, 1, sample_block()};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(MsMessages, VoteRoundtrip) {
+  const MsVote m{7, 2, 0x1234567890ULL};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(MsMessages, SuggestAndProofRoundtrip) {
+  MsSuggest s;
+  s.slot = 4;
+  s.view = 2;
+  s.vote2 = core::VoteRef{1, Value{11}};
+  s.prev_vote2 = core::VoteRef{};
+  s.vote3 = core::VoteRef{0, Value{12}};
+  EXPECT_EQ(roundtrip(s), s);
+
+  MsProof p;
+  p.slot = 4;
+  p.view = 2;
+  p.vote1 = core::VoteRef{1, Value{11}};
+  p.prev_vote1 = core::VoteRef{0, Value{13}};
+  p.vote4 = core::VoteRef{};
+  EXPECT_EQ(roundtrip(p), p);
+}
+
+TEST(MsMessages, ViewChangeRoundtrip) {
+  const MsViewChange m{5, 3};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(MsMessages, ChainInfoRoundtrip) {
+  MsChainInfo info;
+  info.blocks.push_back(sample_block(1));
+  info.blocks.push_back(sample_block(2));
+  EXPECT_EQ(roundtrip(info), info);
+}
+
+TEST(MsMessages, ChainInfoBlockCapEnforced) {
+  // A Byzantine sender claiming more blocks than the cap must be rejected
+  // before any allocation happens.
+  serde::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsType::ChainInfo));
+  w.varint(MsChainInfo::kMaxBlocks + 1);
+  EXPECT_FALSE(decode_ms(w.data()).has_value());
+}
+
+TEST(MsMessages, SlotZeroRejected) {
+  auto bytes = encode_ms(MsMessage{MsVote{1, 0, 5}});
+  // slot is the first u64 after the tag; zero it.
+  for (int i = 1; i <= 8; ++i) bytes[i] = 0;
+  EXPECT_FALSE(decode_ms(bytes).has_value());
+}
+
+TEST(MsMessages, ViewZeroSuggestRejected) {
+  // suggest/proof only exist for views >= 1.
+  MsSuggest s;
+  s.slot = 1;
+  s.view = 1;
+  auto bytes = encode_ms(MsMessage{s});
+  serde::Writer view0;
+  view0.i64(0);
+  std::copy(view0.data().begin(), view0.data().end(), bytes.begin() + 9);
+  EXPECT_FALSE(decode_ms(bytes).has_value());
+}
+
+TEST(MsMessages, ProposalSlotMismatchRejected) {
+  // The envelope slot and the embedded block's slot must agree.
+  MsProposal m{3, 0, sample_block(4)};
+  const auto bytes = encode_ms(MsMessage{m});
+  EXPECT_FALSE(decode_ms(bytes).has_value());
+}
+
+TEST(MsMessages, TruncatedAndGarbageRejected) {
+  auto bytes = encode_ms(MsMessage{MsVote{1, 0, 5}});
+  bytes.pop_back();
+  EXPECT_FALSE(decode_ms(bytes).has_value());
+
+  bytes = encode_ms(MsMessage{MsViewChange{1, 1}});
+  bytes.push_back(0xFF);
+  EXPECT_FALSE(decode_ms(bytes).has_value());
+
+  EXPECT_FALSE(decode_ms({}).has_value());
+  const std::uint8_t junk[] = {0x77, 1, 2, 3};
+  EXPECT_FALSE(decode_ms(junk).has_value());
+}
+
+TEST(MsMessages, BlockHashChangesWithPayload) {
+  Block a = sample_block();
+  Block b = a;
+  b.payload.push_back(1);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.value().id, a.hash());
+}
+
+TEST(MsMessages, AsCoreConversionPreservesFields) {
+  MsSuggest s;
+  s.view = 5;
+  s.vote2 = core::VoteRef{3, Value{1}};
+  s.prev_vote2 = core::VoteRef{2, Value{2}};
+  s.vote3 = core::VoteRef{1, Value{1}};
+  const auto c = s.as_core();
+  EXPECT_EQ(c.view, 5);
+  EXPECT_EQ(c.vote2, s.vote2);
+  EXPECT_EQ(c.prev_vote2, s.prev_vote2);
+  EXPECT_EQ(c.vote3, s.vote3);
+}
+
+}  // namespace
+}  // namespace tbft::multishot

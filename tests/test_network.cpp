@@ -1,0 +1,135 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/adversary.hpp"
+
+namespace tbft::sim {
+namespace {
+
+Envelope env(NodeId src, NodeId dst) { return Envelope{src, dst, {1, 2, 3}}; }
+
+TEST(Network, PostGstConstantDelay) {
+  NetworkConfig cfg;
+  cfg.gst = 0;
+  cfg.delta_actual = 5;
+  cfg.delta_bound = 100;
+  Network net(cfg, Rng(1));
+  for (int i = 0; i < 10; ++i) {
+    const auto at = net.schedule(env(0, 1), 1000);
+    ASSERT_TRUE(at.has_value());
+    EXPECT_EQ(*at, 1005);
+  }
+}
+
+TEST(Network, PostGstDelayNeverExceedsDeltaBound) {
+  NetworkConfig cfg;
+  cfg.gst = 0;
+  cfg.model = DelayModel::Uniform;
+  cfg.delta_min = 1;
+  cfg.delta_actual = 500;
+  cfg.delta_bound = 100;  // bound tighter than the draw: must clamp
+  Network net(cfg, Rng(2));
+  for (int i = 0; i < 200; ++i) {
+    const auto at = net.schedule(env(0, 1), 0);
+    ASSERT_TRUE(at.has_value());
+    EXPECT_LE(*at, 100);
+  }
+}
+
+TEST(Network, PostGstNeverDrops) {
+  NetworkConfig cfg;
+  cfg.gst = 50;
+  cfg.pre_gst_drop_prob = 1.0;
+  Network net(cfg, Rng(3));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(net.schedule(env(0, 1), 50 + i).has_value());
+  }
+}
+
+TEST(Network, PreGstCanDrop) {
+  NetworkConfig cfg;
+  cfg.gst = 1000000;
+  cfg.pre_gst_drop_prob = 1.0;
+  Network net(cfg, Rng(4));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(net.schedule(env(0, 1), i).has_value());
+  }
+}
+
+TEST(Network, PreGstDelaysAreArbitraryWithinConfig) {
+  NetworkConfig cfg;
+  cfg.gst = 1000000;
+  cfg.pre_gst_drop_prob = 0.0;
+  cfg.pre_gst_delay_min = 10;
+  cfg.pre_gst_delay_max = 500;
+  Network net(cfg, Rng(5));
+  for (int i = 0; i < 100; ++i) {
+    const auto at = net.schedule(env(0, 1), 100);
+    ASSERT_TRUE(at.has_value());
+    EXPECT_GE(*at, 110);
+    EXPECT_LE(*at, 600);
+  }
+}
+
+TEST(Network, AdversaryControlsPreGstFate) {
+  NetworkConfig cfg;
+  cfg.gst = 1000;
+  Network net(cfg, Rng(6));
+  net.set_adversary([](const Envelope& e, SimTime) -> std::optional<DeliveryDecision> {
+    if (e.dst == 1) return DeliveryDecision{.drop = true, .deliver_at = 0};
+    return DeliveryDecision{.drop = false, .deliver_at = 777};
+  });
+  EXPECT_FALSE(net.schedule(env(0, 1), 0).has_value());
+  EXPECT_EQ(net.schedule(env(0, 2), 0), 777);
+}
+
+TEST(Network, AdversaryDelayClampedPostGst) {
+  NetworkConfig cfg;
+  cfg.gst = 0;
+  cfg.delta_bound = 10;
+  Network net(cfg, Rng(7));
+  net.set_adversary([](const Envelope&, SimTime) {
+    return std::optional<DeliveryDecision>{DeliveryDecision{.drop = false, .deliver_at = 99999}};
+  });
+  EXPECT_EQ(net.schedule(env(0, 1), 100), 110);  // clamped to send+Delta
+}
+
+TEST(Network, AdversaryCannotDropPostGst) {
+  NetworkConfig cfg;
+  cfg.gst = 0;
+  Network net(cfg, Rng(8));
+  net.set_adversary([](const Envelope&, SimTime) {
+    return std::optional<DeliveryDecision>{DeliveryDecision{.drop = true, .deliver_at = 0}};
+  });
+  EXPECT_THROW((void)net.schedule(env(0, 1), 5), InvariantViolation);
+}
+
+TEST(Network, PartitionAdversaryDropsOnlyCrossPartition) {
+  NetworkConfig cfg;
+  cfg.gst = 100;
+  cfg.pre_gst_drop_prob = 0.0;
+  Network net(cfg, Rng(9));
+  net.set_adversary(make_partition_until_gst({0, 1}, 100));
+  EXPECT_TRUE(net.schedule(env(0, 1), 0).has_value());   // inside group A
+  EXPECT_FALSE(net.schedule(env(0, 2), 0).has_value());  // crosses partition
+  EXPECT_TRUE(net.schedule(env(2, 3), 0).has_value());   // inside complement
+  EXPECT_TRUE(net.schedule(env(0, 2), 100).has_value()); // after GST
+}
+
+TEST(Network, SelectiveDropByTagAndVictim) {
+  NetworkConfig cfg;
+  cfg.gst = 100;
+  cfg.pre_gst_drop_prob = 0.0;
+  Network net(cfg, Rng(10));
+  net.set_adversary(make_selective_drop({1}, {2}, 100));
+  Envelope tagged{0, 2, {1, 0, 0}};
+  Envelope other_tag{0, 2, {9, 0, 0}};
+  Envelope other_dst{0, 1, {1, 0, 0}};
+  EXPECT_FALSE(net.schedule(tagged, 0).has_value());
+  EXPECT_TRUE(net.schedule(other_tag, 0).has_value());
+  EXPECT_TRUE(net.schedule(other_dst, 0).has_value());
+}
+
+}  // namespace
+}  // namespace tbft::sim

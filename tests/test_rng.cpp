@@ -1,0 +1,104 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace tbft {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, UniformCoversWholeRange) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIsRoughlyUnbiased) {
+  Rng rng(11);
+  std::map<std::uint64_t, int> counts;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) counts[rng.uniform(0, 5)]++;
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c), trials / 6.0, trials * 0.01) << "value " << v;
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.uniform01();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  // The child must not replay the parent's stream.
+  Rng parent2(23);
+  (void)parent2.next();  // same position as parent after fork
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next() == parent2.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace tbft

@@ -1,0 +1,165 @@
+// Property tests for the rules engine, parameterized over RNG seeds:
+//
+//  1. soundness on adversarial inputs -- whatever the efficient algorithms
+//     accept, the literal Rule 1/Rule 3 reference accepts too;
+//  2. the Lemma 2 -> Lemma 4 liveness chain on honest histories -- with
+//     suggest/proof messages from all honest nodes, the leader finds a safe
+//     value and every follower accepts it.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/rules.hpp"
+#include "core/rules_reference.hpp"
+#include "core/vote_record.hpp"
+
+namespace tbft::core {
+namespace {
+
+constexpr std::uint64_t kValueSpace = 3;
+constexpr View kMaxView = 5;
+
+VoteRef random_vote_ref(Rng& rng, View below_view) {
+  if (rng.bernoulli(0.35) || below_view <= 0) return VoteRef{};
+  const View v = static_cast<View>(rng.uniform(0, static_cast<std::uint64_t>(below_view - 1)));
+  return VoteRef{v, Value{rng.uniform(1, kValueSpace)}};
+}
+
+class RulesSoundness : public testing::TestWithParam<int> {};
+
+TEST_P(RulesSoundness, Rule1EfficientImpliesLiteral) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::uint32_t n = rng.bernoulli(0.5) ? 4 : 7;
+    const QuorumParams qp = QuorumParams::max_faults(n);
+    const View view = static_cast<View>(rng.uniform(1, kMaxView));
+
+    std::vector<SuggestFrom> suggests;
+    for (NodeId p = 0; p < n; ++p) {
+      if (rng.bernoulli(0.15)) continue;  // some nodes stay silent
+      Suggest s;
+      s.view = view;
+      s.vote2 = random_vote_ref(rng, view);
+      s.prev_vote2 = random_vote_ref(rng, view);
+      s.vote3 = random_vote_ref(rng, view);
+      suggests.push_back({p, s});
+    }
+
+    const Value initial{rng.uniform(1, kValueSpace)};
+    const auto found = leader_find_safe_value(qp, view, initial, suggests);
+    if (found) {
+      EXPECT_TRUE(reference::rule1_safe(qp, view, *found, suggests))
+          << "seed=" << GetParam() << " iter=" << iter << " view=" << view << " val=" << found->id;
+    }
+  }
+}
+
+TEST_P(RulesSoundness, Rule3EfficientImpliesLiteral) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::uint32_t n = rng.bernoulli(0.5) ? 4 : 7;
+    const QuorumParams qp = QuorumParams::max_faults(n);
+    const View view = static_cast<View>(rng.uniform(1, kMaxView));
+
+    std::vector<ProofFrom> proofs;
+    for (NodeId p = 0; p < n; ++p) {
+      if (rng.bernoulli(0.15)) continue;
+      Proof pr;
+      pr.view = view;
+      pr.vote1 = random_vote_ref(rng, view);
+      pr.prev_vote1 = random_vote_ref(rng, view);
+      pr.vote4 = random_vote_ref(rng, view);
+      proofs.push_back({p, pr});
+    }
+
+    for (std::uint64_t vid = 1; vid <= kValueSpace; ++vid) {
+      const Value val{vid};
+      if (proposal_is_safe(qp, view, val, proofs)) {
+        EXPECT_TRUE(reference::rule3_safe(qp, view, val, proofs))
+            << "seed=" << GetParam() << " iter=" << iter << " view=" << view << " val=" << vid;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RulesSoundness, testing::Range(0, 30));
+
+/// Generates an "honest-adequate" multi-node history: per view, phase-k
+/// votes only exist when a quorum cast phase-(k-1) votes for the same value
+/// -- the only structural facts Lemma 2's proof relies on.
+struct HonestHistory {
+  std::vector<VoteRecord> records;  // one per node
+
+  static HonestHistory generate(Rng& rng, std::uint32_t n, const QuorumParams& qp,
+                                View views) {
+    HonestHistory h;
+    h.records.resize(n);
+    for (View v = 0; v < views; ++v) {
+      if (rng.bernoulli(0.2)) continue;  // nothing happened in this view
+      const Value val{rng.uniform(1, kValueSpace)};
+
+      // Nested vote sets: S1 >= S2 >= S3 >= S4 by random trimming; deeper
+      // phases require the previous phase to have reached a quorum.
+      std::vector<NodeId> members;
+      for (NodeId p = 0; p < n; ++p) {
+        if (rng.bernoulli(0.8)) members.push_back(p);
+      }
+      std::size_t depth_limit = 1;
+      std::vector<NodeId> current = members;
+      for (int phase = 1; phase <= 4 && !current.empty(); ++phase) {
+        for (NodeId p : current) h.records[p].record(phase, v, val);
+        if (!qp.is_quorum(current.size())) break;  // next phase unreachable
+        (void)depth_limit;
+        // trim for the next phase
+        std::vector<NodeId> next;
+        for (NodeId p : current) {
+          if (rng.bernoulli(0.9)) next.push_back(p);
+        }
+        current = std::move(next);
+        if (rng.bernoulli(0.3)) break;  // view aborted mid-cascade
+      }
+    }
+    return h;
+  }
+};
+
+class LivenessChain : public testing::TestWithParam<int> {};
+
+TEST_P(LivenessChain, Lemma2ThenLemma4OnHonestHistories) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 17);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::uint32_t n = rng.bernoulli(0.5) ? 4 : 7;
+    const QuorumParams qp = QuorumParams::max_faults(n);
+    const View hist_views = static_cast<View>(rng.uniform(1, kMaxView));
+    const View view = hist_views;  // the new view following the history
+
+    const auto hist = HonestHistory::generate(rng, n, qp, hist_views);
+
+    std::vector<SuggestFrom> suggests;
+    std::vector<ProofFrom> proofs;
+    for (NodeId p = 0; p < n; ++p) {
+      suggests.push_back({p, hist.records[p].make_suggest(view)});
+      proofs.push_back({p, hist.records[p].make_proof(view)});
+    }
+
+    // Lemma 2: with suggests from all (honest) nodes, the leader determines
+    // some value safe.
+    const Value initial{rng.uniform(1, kValueSpace)};
+    const auto found = leader_find_safe_value(qp, view, initial, suggests);
+    ASSERT_TRUE(found.has_value()) << "Lemma 2 violated: seed=" << GetParam() << " iter=" << iter;
+
+    // Soundness of the found value against the literal rule.
+    EXPECT_TRUE(reference::rule1_safe(qp, view, *found, suggests));
+
+    // Lemma 4: every follower, with proofs from all honest nodes, accepts.
+    EXPECT_TRUE(proposal_is_safe(qp, view, *found, proofs))
+        << "Lemma 4 violated: seed=" << GetParam() << " iter=" << iter << " val=" << found->id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LivenessChain, testing::Range(0, 30));
+
+}  // namespace
+}  // namespace tbft::core

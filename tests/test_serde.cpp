@@ -1,0 +1,146 @@
+#include "common/serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace tbft::serde {
+namespace {
+
+TEST(Serde, FixedWidthRoundtrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.boolean(true);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[1], 0x03);
+  EXPECT_EQ(w.data()[2], 0x02);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Serde, VarintRoundtripBoundaries) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 (1ULL << 32) - 1,
+                                 1ULL << 32,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : cases) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.data());
+    EXPECT_EQ(r.varint(), v) << "value " << v;
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Serde, VarintCompactness) {
+  Writer w;
+  w.varint(5);
+  EXPECT_EQ(w.size(), 1u);
+  Writer w2;
+  w2.varint(300);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Serde, BytesAndStringRoundtrip) {
+  Writer w;
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 0, 255};
+  w.bytes(blob);
+  w.str("hello world");
+
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, EmptyBytesAndString) {
+  Writer w;
+  w.bytes({});
+  w.str("");
+  Reader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.str().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, TruncatedInputFailsSticky) {
+  Writer w;
+  w.u64(7);
+  auto data = w.data();
+  data.pop_back();
+  Reader r(data);
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_FALSE(r.ok());
+  // sticky: subsequent reads also fail and return zero
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serde, OversizedLengthPrefixFails) {
+  Writer w;
+  w.varint(1000);  // claims 1000 bytes follow
+  w.u8(1);
+  Reader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serde, UnterminatedVarintFails) {
+  const std::uint8_t bad[] = {0x80, 0x80, 0x80};  // continuation never ends
+  Reader r(bad);
+  (void)r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serde, OverlongVarintFails) {
+  // 11 continuation bytes exceeds the 64-bit shift budget.
+  std::vector<std::uint8_t> bad(11, 0x80);
+  bad.push_back(0x01);
+  Reader r(bad);
+  (void)r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serde, TrailingGarbageDetectedByDone) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.done());  // one byte left
+}
+
+TEST(Serde, ReaderOnEmptyInput) {
+  Reader r(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace tbft::serde

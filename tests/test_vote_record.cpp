@@ -1,0 +1,120 @@
+#include "core/vote_record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tbft::core {
+namespace {
+
+TEST(VoteRecord, StartsEmpty) {
+  VoteRecord r;
+  for (int phase = 1; phase <= 4; ++phase) EXPECT_FALSE(r.highest(phase).present());
+  EXPECT_FALSE(r.prev(1).present());
+  EXPECT_FALSE(r.prev(2).present());
+}
+
+TEST(VoteRecord, TracksHighestPerPhase) {
+  VoteRecord r;
+  r.record(1, 0, Value{10});
+  r.record(1, 3, Value{10});
+  EXPECT_EQ(r.highest(1), (VoteRef{3, Value{10}}));
+  EXPECT_FALSE(r.prev(1).present());  // same value: prev untouched
+}
+
+TEST(VoteRecord, PrevHoldsDisplacedDifferentValue) {
+  VoteRecord r;
+  r.record(2, 1, Value{10});
+  r.record(2, 4, Value{20});
+  EXPECT_EQ(r.highest(2), (VoteRef{4, Value{20}}));
+  EXPECT_EQ(r.prev(2), (VoteRef{1, Value{10}}));
+}
+
+TEST(VoteRecord, PrevChasesHighestThroughAlternation) {
+  // Votes: (1,A), (2,B), (3,A). prev must be the highest vote with a value
+  // different from the final highest (A) => (2,B).
+  VoteRecord r;
+  r.record(2, 1, Value{1});
+  r.record(2, 2, Value{2});
+  r.record(2, 3, Value{1});
+  EXPECT_EQ(r.highest(2), (VoteRef{3, Value{1}}));
+  EXPECT_EQ(r.prev(2), (VoteRef{2, Value{2}}));
+}
+
+TEST(VoteRecord, PrevWithThreeDistinctValues) {
+  // Votes: (1,A), (2,B), (3,C): prev = (2,B).
+  VoteRecord r;
+  r.record(1, 1, Value{1});
+  r.record(1, 2, Value{2});
+  r.record(1, 3, Value{3});
+  EXPECT_EQ(r.highest(1), (VoteRef{3, Value{3}}));
+  EXPECT_EQ(r.prev(1), (VoteRef{2, Value{2}}));
+}
+
+TEST(VoteRecord, SameValueNeverPopulatesPrev) {
+  VoteRecord r;
+  for (View v = 0; v < 10; ++v) r.record(2, v, Value{5});
+  EXPECT_FALSE(r.prev(2).present());
+}
+
+TEST(VoteRecord, Phase3And4HaveNoPrevTracking) {
+  VoteRecord r;
+  r.record(3, 1, Value{1});
+  r.record(3, 2, Value{2});
+  r.record(4, 1, Value{1});
+  r.record(4, 2, Value{2});
+  EXPECT_EQ(r.highest(3), (VoteRef{2, Value{2}}));
+  EXPECT_EQ(r.highest(4), (VoteRef{2, Value{2}}));
+}
+
+TEST(VoteRecord, DuplicateSameViewSameValueIsIdempotent) {
+  VoteRecord r;
+  r.record(1, 2, Value{9});
+  r.record(1, 2, Value{9});
+  EXPECT_EQ(r.highest(1), (VoteRef{2, Value{9}}));
+}
+
+TEST(VoteRecord, OutOfOrderViewIsRejected) {
+  VoteRecord r;
+  r.record(1, 5, Value{1});
+  EXPECT_THROW(r.record(1, 3, Value{2}), InvariantViolation);
+}
+
+TEST(VoteRecord, ConflictingVoteInSameViewIsRejected) {
+  VoteRecord r;
+  r.record(1, 5, Value{1});
+  EXPECT_THROW(r.record(1, 5, Value{2}), InvariantViolation);
+}
+
+TEST(VoteRecord, SuggestSnapshotUsesVote2AndVote3) {
+  VoteRecord r;
+  r.record(2, 1, Value{10});
+  r.record(2, 4, Value{20});
+  r.record(3, 2, Value{10});
+  const Suggest s = r.make_suggest(6);
+  EXPECT_EQ(s.view, 6);
+  EXPECT_EQ(s.vote2, (VoteRef{4, Value{20}}));
+  EXPECT_EQ(s.prev_vote2, (VoteRef{1, Value{10}}));
+  EXPECT_EQ(s.vote3, (VoteRef{2, Value{10}}));
+}
+
+TEST(VoteRecord, ProofSnapshotUsesVote1AndVote4) {
+  VoteRecord r;
+  r.record(1, 2, Value{7});
+  r.record(4, 1, Value{7});
+  const Proof p = r.make_proof(5);
+  EXPECT_EQ(p.view, 5);
+  EXPECT_EQ(p.vote1, (VoteRef{2, Value{7}}));
+  EXPECT_FALSE(p.prev_vote1.present());
+  EXPECT_EQ(p.vote4, (VoteRef{1, Value{7}}));
+}
+
+TEST(VoteRecord, PersistentBytesIsConstant) {
+  VoteRecord r;
+  const auto before = r.persistent_bytes();
+  for (View v = 0; v < 100; ++v) {
+    for (int phase = 1; phase <= 4; ++phase) r.record(phase, v, Value{static_cast<std::uint64_t>(v % 3)});
+  }
+  EXPECT_EQ(r.persistent_bytes(), before);  // the constant-storage claim
+}
+
+}  // namespace
+}  // namespace tbft::core
