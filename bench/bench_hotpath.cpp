@@ -1,0 +1,416 @@
+// Messaging-core hot-path bench (DESIGN_PERF.md): measures the simulator's
+// event throughput and verifies the zero-copy invariants the rest of the
+// bench suite relies on at scale:
+//
+//   1. an n-way broadcast performs exactly 1 message encode and 0 payload
+//      buffer copies (Payload::stats counters);
+//   2. steady-state message delivery is allocation-free (asserted with a
+//      counting global operator new while draining pre-scheduled traffic);
+//   3. events/sec through the typed 4-ary event heap + shared payloads is
+//      >= 2x a faithful re-implementation of the pre-rewrite core
+//      (std::function closures on a std::priority_queue, one payload vector
+//      copy per recipient, every receiver re-decoding).
+//
+// Run: bench_hotpath [n] [rounds]. Exit code 0 iff all invariants hold.
+// Emits BENCH_hotpath.json for trajectory tracking.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <new>
+#include <queue>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/messages.hpp"
+#include "sim/runtime.hpp"
+
+// ---- Allocation counting ---------------------------------------------------
+// Global new/delete overrides: every heap allocation in the process bumps the
+// counter. This is why bench_hotpath is a plain main() and must not link a
+// framework with background threads.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& nt) noexcept {
+  return ::operator new(size, nt);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) /
+                                       static_cast<std::size_t>(align) *
+                                       static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace tbft::bench {
+namespace {
+
+using namespace tbft::core;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+sim::SimConfig hotpath_cfg() {
+  sim::SimConfig sc;
+  sc.net.gst = 0;  // synchronous from the start: the good case
+  sc.net.delta_actual = 1 * sim::kMillisecond;
+  sc.net.delta_bound = 10 * sim::kMillisecond;
+  sc.keep_message_trace = false;  // aggregate counters only (huge runs)
+  return sc;
+}
+
+/// Broadcasts one cached Vote per round; every delivery is counted. A node
+/// re-broadcasts when its ring neighbor's broadcast arrives (one network
+/// delay later), so each of the n nodes keeps exactly one broadcast in
+/// flight: n^2 deliveries per network delay, a bounded in-flight window.
+class FloodNode final : public sim::ProtocolNode {
+ public:
+  explicit FloodNode(int rounds) : rounds_left_(rounds) {}
+
+  void on_start() override {
+    if (rounds_left_ > 0) flood();
+  }
+
+  void on_message(NodeId from, const sim::Payload& payload) override {
+    if (payload.cached<Message>() != nullptr) ++decoded_via_cache_;
+    ++received_;
+    if (from == (ctx().id() + 1) % ctx().n() && rounds_left_ > 0) flood();
+  }
+
+  void on_timer(sim::TimerId) override {}
+
+  std::uint64_t received() const { return received_; }
+  std::uint64_t decoded_via_cache() const { return decoded_via_cache_; }
+
+ private:
+  void flood() {
+    --rounds_left_;
+    const Message m = Vote{1, static_cast<View>(rounds_left_), Value{0xF100D}};
+    ctx().broadcast(encode_payload(m, scratch_, /*cache_decoded=*/true));
+  }
+
+  serde::Writer scratch_;
+  int rounds_left_{0};
+  std::uint64_t received_{0};
+  std::uint64_t decoded_via_cache_{0};
+};
+
+/// Broadcasts `bursts` cached payloads up front, then stays silent: drains as
+/// pure deliveries with no sends, isolating the per-delivery cost.
+class BurstNode final : public sim::ProtocolNode {
+ public:
+  explicit BurstNode(int bursts) : bursts_(bursts) {}
+
+  void on_start() override {
+    for (int i = 0; i < bursts_; ++i) {
+      const Message m = Vote{1, static_cast<View>(i), Value{0xB00}};
+      ctx().broadcast(encode_payload(m, scratch_, /*cache_decoded=*/true));
+    }
+  }
+  void on_message(NodeId, const sim::Payload& payload) override {
+    if (payload.cached<Message>() != nullptr) ++received_;
+  }
+  void on_timer(sim::TimerId) override {}
+
+  std::uint64_t received() const { return received_; }
+
+ private:
+  serde::Writer scratch_;
+  int bursts_{0};
+  std::uint64_t received_{0};
+};
+
+struct CheckResult {
+  bool ok{true};
+  std::uint64_t encodes_per_broadcast{0};
+  std::uint64_t buffer_copies_per_broadcast{0};
+};
+
+/// Invariant 1: one encode, zero payload buffer copies for an n-way
+/// broadcast, measured over many broadcasts to rule out amortization tricks.
+CheckResult check_broadcast_counters(std::uint32_t n) {
+  sim::Simulation simulation(hotpath_cfg());
+  constexpr std::uint64_t kBroadcasts = 8;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    simulation.add_node(std::make_unique<BurstNode>(i == 0 ? static_cast<int>(kBroadcasts) : 0));
+  }
+
+  auto& stats = sim::Payload::stats();
+  const auto frozen0 = stats.frozen;
+  const auto copies0 = stats.buffer_copies;
+  simulation.start();
+  simulation.run_to_quiescence(10 * sim::kSecond);
+
+  const std::uint64_t broadcasts = kBroadcasts;
+  const auto frozen = stats.frozen - frozen0;
+  const auto copies = stats.buffer_copies - copies0;
+
+  CheckResult res;
+  res.encodes_per_broadcast = frozen / broadcasts;
+  res.buffer_copies_per_broadcast = copies;
+  res.ok = (frozen == broadcasts) && (copies == 0);
+  std::printf("broadcast counters: %llu broadcasts -> %llu encodes, %llu buffer copies %s\n",
+              static_cast<unsigned long long>(broadcasts),
+              static_cast<unsigned long long>(frozen), static_cast<unsigned long long>(copies),
+              res.ok ? "[ok: 1 encode, 0 copies]" : "[FAIL]");
+  return res;
+}
+
+struct DrainResult {
+  bool ok{false};
+  std::uint64_t events{0};
+  std::uint64_t allocs{0};
+};
+
+/// Invariant 2: draining pre-scheduled broadcasts allocates nothing -- pops
+/// from the flat heap, shared-payload delivery, cached decode.
+DrainResult check_steady_state_allocs(std::uint32_t n) {
+  sim::Simulation simulation(hotpath_cfg());
+  constexpr int kBursts = 1000;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    simulation.add_node(std::make_unique<BurstNode>(i == 0 ? kBursts : 0));
+  }
+  simulation.start();  // all encodes + schedules (and their allocations) here
+
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  simulation.run_to_quiescence(10 * sim::kSecond);  // pure delivery drain
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+
+  DrainResult res;
+  res.events = static_cast<std::uint64_t>(kBursts) * n;
+  res.allocs = allocs;
+  std::uint64_t delivered = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    delivered += simulation.node_as<BurstNode>(i).received();
+  }
+  res.ok = (allocs == 0) && (delivered == res.events);
+  std::printf("steady-state drain: %llu deliveries, %llu heap allocations %s\n",
+              static_cast<unsigned long long>(delivered),
+              static_cast<unsigned long long>(allocs),
+              res.ok ? "[ok: allocation-free]" : "[FAIL]");
+  return res;
+}
+
+struct Throughput {
+  std::uint64_t events{0};
+  std::uint64_t bytes{0};            // wire bytes sent during the run
+  std::uint64_t payloads_frozen{0};  // encodes materialized during the run
+  double secs{0};
+  [[nodiscard]] double events_per_sec() const { return events / secs; }
+  [[nodiscard]] double ns_per_event() const { return secs * 1e9 / events; }
+};
+
+/// Full-runtime throughput: n flooding nodes through Network + Trace + the
+/// typed heap, the configuration every reproduction bench runs at scale.
+Throughput run_flood(std::uint32_t n, int rounds) {
+  sim::Simulation simulation(hotpath_cfg());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    simulation.add_node(std::make_unique<FloodNode>(rounds));
+  }
+  const auto frozen0 = sim::Payload::stats().frozen;
+  const auto t0 = std::chrono::steady_clock::now();
+  simulation.start();
+  simulation.run_to_quiescence(3600 * sim::kSecond);
+
+  Throughput tp;
+  tp.secs = seconds_since(t0);
+  tp.bytes = simulation.trace().total_bytes();
+  tp.payloads_frozen = sim::Payload::stats().frozen - frozen0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tp.events += simulation.node_as<FloodNode>(i).received();
+  }
+  return tp;
+}
+
+// ---- Messaging-core micro comparison ---------------------------------------
+// Old vs new core under the identical broadcast/drain workload, with the
+// runtime (network model, trace, node logic) stripped from both sides so the
+// ratio isolates exactly what this rewrite changed: event representation,
+// heap layout, payload sharing, and decode-once.
+//
+// Legacy side = what event_queue.cpp + runtime.cpp did before the rewrite:
+// every scheduled event heap-allocated a std::function closure, a broadcast
+// copied its payload vector once per recipient, and every receiver re-ran
+// decode_message over the bytes.
+
+/// New core: typed events on the flat 4-ary heap, one frozen payload shared
+/// by all recipients, receivers reading the decode cache.
+class CountingSink final : public sim::EventSink {
+ public:
+  void on_deliver_event(NodeId, NodeId, const sim::Payload& payload) override {
+    if (payload.cached<Message>() != nullptr) ++delivered;
+  }
+  void on_timer_event(NodeId, sim::TimerId) override {}
+
+  std::uint64_t delivered{0};
+};
+
+Throughput run_typed_model(std::uint32_t n, int rounds) {
+  sim::EventQueue queue;
+  CountingSink sink;
+  queue.set_sink(&sink);
+  serde::Writer scratch;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::SimTime now = 0;
+  for (int round = 0; round < rounds; ++round) {
+    ++now;
+    for (std::uint32_t src = 0; src < n; ++src) {
+      const Message m = Vote{1, static_cast<View>(round), Value{0xF100D}};
+      const sim::Payload payload = encode_payload(m, scratch, /*cache_decoded=*/true);
+      for (std::uint32_t dst = 0; dst < n; ++dst) {
+        queue.schedule_deliver(now, src, dst, payload);
+      }
+    }
+    queue.run_until(now);
+  }
+
+  Throughput tp;
+  tp.secs = seconds_since(t0);
+  tp.events = sink.delivered;
+  return tp;
+}
+
+struct LegacyEvent {
+  sim::SimTime at;
+  std::uint64_t seq;
+  std::function<void()> fn;
+};
+struct LegacyLater {
+  bool operator()(const LegacyEvent& a, const LegacyEvent& b) const noexcept {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+
+Throughput run_legacy_model(std::uint32_t n, int rounds) {
+  std::priority_queue<LegacyEvent, std::vector<LegacyEvent>, LegacyLater> heap;
+  std::uint64_t seq = 0;
+  std::uint64_t delivered = 0;
+  sim::SimTime now = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto broadcast = [&](sim::SimTime at, int round) {
+    const Message m = Vote{1, static_cast<View>(round), Value{0xF100D}};
+    const std::vector<std::uint8_t> bytes = encode_message(m);
+    for (std::uint32_t dst = 0; dst < n; ++dst) {
+      // One payload copy per recipient + one type-erased closure allocation
+      // per event: the pre-rewrite cost model.
+      heap.push(LegacyEvent{at, seq++, [payload = bytes, &delivered] {
+                              const auto decoded = decode_message(payload);
+                              if (decoded) ++delivered;
+                            }});
+    }
+  };
+
+  for (int round = 0; round < rounds; ++round) {
+    for (std::uint32_t src = 0; src < n; ++src) broadcast(now + 1, round);
+    while (!heap.empty()) {
+      LegacyEvent ev = std::move(const_cast<LegacyEvent&>(heap.top()));
+      heap.pop();
+      now = ev.at;
+      ev.fn();
+    }
+  }
+
+  Throughput tp;
+  tp.secs = seconds_since(t0);
+  tp.events = delivered;
+  return tp;
+}
+
+}  // namespace
+}  // namespace tbft::bench
+
+int main(int argc, char** argv) {
+  using namespace tbft::bench;
+
+  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 64;
+  const int rounds = argc > 2 ? std::atoi(argv[2]) : 400;
+
+  std::printf("== bench_hotpath: zero-copy messaging core (n=%u, rounds=%d) ==\n", n, rounds);
+
+  const CheckResult counters = check_broadcast_counters(n);
+  const DrainResult drain = check_steady_state_allocs(n);
+
+  // Warm up all paths once, then measure.
+  (void)run_flood(n, rounds / 4);
+  (void)run_typed_model(n, rounds / 4);
+  (void)run_legacy_model(n, rounds / 4);
+  const Throughput flood = run_flood(n, rounds);
+  const Throughput typed = run_typed_model(n, rounds);
+  const Throughput legacy = run_legacy_model(n, rounds);
+  const double speedup = typed.events_per_sec() / legacy.events_per_sec();
+
+  std::printf("full runtime (flood):          %8.0f events/s  (%.1f ns/event, %llu events)\n",
+              flood.events_per_sec(), flood.ns_per_event(),
+              static_cast<unsigned long long>(flood.events));
+  std::printf("messaging core, typed/shared:  %8.0f events/s  (%.1f ns/event, %llu events)\n",
+              typed.events_per_sec(), typed.ns_per_event(),
+              static_cast<unsigned long long>(typed.events));
+  std::printf("messaging core, legacy model:  %8.0f events/s  (%.1f ns/event, %llu events)\n",
+              legacy.events_per_sec(), legacy.ns_per_event(),
+              static_cast<unsigned long long>(legacy.events));
+  std::printf("core speedup vs pre-rewrite:   %.2fx %s\n", speedup,
+              speedup >= 2.0 ? "[ok: >= 2x]" : "[FAIL: < 2x]");
+
+  JsonReport report("hotpath");
+  report.field("n", n)
+      .field("rounds", rounds)
+      .field("events", flood.events)
+      .field("events_per_sec", flood.events_per_sec())
+      .field("ns_per_event", flood.ns_per_event())
+      .field("bytes", flood.bytes)
+      .field("payloads_frozen", flood.payloads_frozen)
+      .field("core_events_per_sec", typed.events_per_sec())
+      .field("core_ns_per_event", typed.ns_per_event())
+      .field("legacy_events_per_sec", legacy.events_per_sec())
+      .field("legacy_ns_per_event", legacy.ns_per_event())
+      .field("speedup_vs_legacy", speedup)
+      .field("drain_events", drain.events)
+      .field("drain_allocs", drain.allocs)
+      .field("allocs_per_delivery", drain.events ? static_cast<double>(drain.allocs) /
+                                                       static_cast<double>(drain.events)
+                                                 : 0.0)
+      .field("encodes_per_broadcast", counters.encodes_per_broadcast)
+      .field("buffer_copies_per_broadcast", counters.buffer_copies_per_broadcast);
+  report.write();
+
+  const bool ok = counters.ok && drain.ok && speedup >= 2.0;
+  std::printf("%s\n", ok ? "ALL HOT-PATH INVARIANTS HOLD" : "HOT-PATH INVARIANT VIOLATION");
+  return ok ? 0 : 1;
+}

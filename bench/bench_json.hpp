@@ -1,0 +1,102 @@
+#pragma once
+// Machine-readable bench output: every bench can drop a BENCH_<name>.json
+// next to its stdout tables so future PRs can track the perf trajectory
+// (events/sec, ns/event, bytes, ...) without scraping text.
+//
+// Format: one flat JSON object per file, written to the current working
+// directory as BENCH_<name>.json. Values are strings, integers or doubles.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace tbft::bench {
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {
+    field("name", name_);
+  }
+
+  JsonReport& field(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, Value{value});
+    return *this;
+  }
+  JsonReport& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonReport& field(const std::string& key, double value) {
+    fields_.emplace_back(key, Value{value});
+    return *this;
+  }
+  JsonReport& field(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, Value{value});
+    return *this;
+  }
+  JsonReport& field(const std::string& key, std::int64_t value) {
+    fields_.emplace_back(key, Value{value});
+    return *this;
+  }
+  JsonReport& field(const std::string& key, std::uint32_t value) {
+    return field(key, static_cast<std::uint64_t>(value));
+  }
+  JsonReport& field(const std::string& key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+
+  /// Write BENCH_<name>.json. Returns false (and warns) on I/O failure so
+  /// benches stay usable in read-only sandboxes.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      const auto& [key, value] = fields_[i];
+      std::fprintf(f, "  \"%s\": ", escaped(key).c_str());
+      if (const auto* s = std::get_if<std::string>(&value)) {
+        std::fprintf(f, "\"%s\"", escaped(*s).c_str());
+      } else if (const auto* d = std::get_if<double>(&value)) {
+        std::fprintf(f, "%.6g", *d);
+      } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
+        std::fprintf(f, "%lld", static_cast<long long>(*i));
+      } else {
+        std::fprintf(f, "%llu",
+                     static_cast<unsigned long long>(std::get<std::uint64_t>(value)));
+      }
+      std::fprintf(f, "%s\n", i + 1 < fields_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  using Value = std::variant<std::string, double, std::uint64_t, std::int64_t>;
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+}  // namespace tbft::bench

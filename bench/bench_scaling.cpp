@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/node.hpp"
 
 int main() {
@@ -35,6 +36,17 @@ int main() {
   }
   std::printf("\nfitted exponent: good case n^%.2f, view change n^%.2f (paper: O(n^2))\n",
               fitted_exponent(good_curve), fitted_exponent(vc_curve));
+
+  {
+    const auto& [n_max, bytes_good] = good_curve.back();
+    JsonReport report("scaling");
+    report.field("n", static_cast<std::uint64_t>(n_max))
+        .field("bytes", bytes_good)
+        .field("bytes_viewchange", vc_curve.back().second)
+        .field("exponent_good", fitted_exponent(good_curve))
+        .field("exponent_viewchange", fitted_exponent(vc_curve));
+    report.write();
+  }
 
   print_header("TetraBFT persistent storage vs views survived (constant-storage claim)");
   std::printf("%16s %18s\n", "views survived", "persistent bytes");

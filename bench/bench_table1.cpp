@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 namespace tbft::bench {
 namespace {
@@ -197,6 +198,18 @@ int main() {
                 static_cast<unsigned long long>(run_it_hotstuff(opts).bytes),
                 static_cast<unsigned long long>(run_it_hotstuff_blog(opts).bytes),
                 static_cast<unsigned long long>(run_pbft(opts).bytes));
+  }
+
+  {
+    RunOptions opts;  // the Table 1 reference point: n=4, good case
+    const auto tetra = run_tetra(opts);
+    JsonReport report("table1");
+    report.field("n", opts.n)
+        .field("bytes", tetra.bytes)
+        .field("messages", tetra.messages)
+        .field("good_case_delays", tetra.hops)
+        .field("storage_bytes", static_cast<std::uint64_t>(tetra.storage_bytes));
+    report.write();
   }
   return 0;
 }

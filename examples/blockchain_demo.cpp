@@ -78,7 +78,8 @@ int main() {
   }
   std::printf("\nchains prefix-consistent across all nodes: %s\n", consistent ? "yes" : "NO");
   std::printf("throughput: %zu blocks in %lld ms of simulated time (1 block per delay)\n",
-              chain.size(), simulation.trace().decision_of(0, chain.size())->at /
-                                sim::kMillisecond);
+              chain.size(),
+              static_cast<long long>(simulation.trace().decision_of(0, chain.size())->at /
+                                     sim::kMillisecond));
   return 0;
 }

@@ -64,7 +64,8 @@ int main() {
     const auto d = simulation.trace().decision_of(i);
     std::printf("node %u decided value %llu at t = %.1f ms (view %lld)\n", i,
                 static_cast<unsigned long long>(nodes[i]->decision()->id),
-                static_cast<double>(d->at) / sim::kMillisecond, nodes[i]->current_view());
+                static_cast<double>(d->at) / sim::kMillisecond,
+                static_cast<long long>(nodes[i]->current_view()));
   }
   std::printf("\nagreement: %s; the Byzantine values 666/667 were never decided.\n",
               simulation.trace().agreement_holds() ? "holds" : "VIOLATED");

@@ -47,7 +47,7 @@ int main() {
   simulation.start();
 
   simulation.run_until(gst);
-  std::printf("at GST (t = %lld ms):\n", gst / sim::kMillisecond);
+  std::printf("at GST (t = %lld ms):\n", static_cast<long long>(gst / sim::kMillisecond));
   for (NodeId i = 0; i < 4; ++i) {
     if (nodes[i]->decision()) {
       std::printf("  node %u decided %llu at %.1f ms (inside the majority partition)\n", i,

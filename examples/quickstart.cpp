@@ -54,8 +54,9 @@ int main() {
   for (NodeId i = 0; i < 4; ++i) {
     const auto d = simulation.trace().decision_of(i);
     std::printf("  node %u -> value %llu at t = %lld us (= %lld message delays)\n", i,
-                static_cast<unsigned long long>(nodes[i]->decision()->id), d->at,
-                d->at / sc.net.delta_actual);
+                static_cast<unsigned long long>(nodes[i]->decision()->id),
+                static_cast<long long>(d->at),
+                static_cast<long long>(d->at / sc.net.delta_actual));
   }
   std::printf("\nproposal + vote-1..vote-4 = 5 message delays (paper Table 1),\n");
   std::printf("%llu network messages, %llu bytes, no signatures anywhere.\n",

@@ -122,7 +122,7 @@ void ItHotStuffNode::on_timer(sim::TimerId id) {
   timer_ = ctx().set_timer(cfg_.view_timeout());
 }
 
-void ItHotStuffNode::on_message(NodeId from, std::span<const std::uint8_t> payload) {
+void ItHotStuffNode::on_message(NodeId from, const sim::Payload& payload) {
   serde::Reader r(payload);
   const auto tag = static_cast<ItMsg>(r.u8());
   if (!r.ok()) return;

@@ -122,7 +122,7 @@ void ItHotStuffBlogNode::on_timer(sim::TimerId id) {
   view_timer_ = ctx().set_timer(cfg_.view_timeout());
 }
 
-void ItHotStuffBlogNode::on_message(NodeId from, std::span<const std::uint8_t> payload) {
+void ItHotStuffBlogNode::on_message(NodeId from, const sim::Payload& payload) {
   serde::Reader r(payload);
   const auto tag = static_cast<BlogMsg>(r.u8());
   if (!r.ok()) return;

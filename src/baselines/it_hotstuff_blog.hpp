@@ -32,7 +32,7 @@ class ItHotStuffBlogNode : public sim::ProtocolNode {
   explicit ItHotStuffBlogNode(BaselineConfig cfg) : cfg_(cfg), qp_(cfg.quorum_params()) {}
 
   void on_start() override;
-  void on_message(NodeId from, std::span<const std::uint8_t> payload) override;
+  void on_message(NodeId from, const sim::Payload& payload) override;
   void on_timer(sim::TimerId id) override;
 
   [[nodiscard]] const std::optional<Value>& decision() const noexcept { return decision_; }

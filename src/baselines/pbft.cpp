@@ -113,7 +113,7 @@ void PbftNode::on_timer(sim::TimerId id) {
   timer_ = ctx().set_timer(cfg_.view_timeout());
 }
 
-void PbftNode::on_message(NodeId from, std::span<const std::uint8_t> payload) {
+void PbftNode::on_message(NodeId from, const sim::Payload& payload) {
   if (keep_full_log_) log_bytes_ += payload.size();  // unbounded variant
 
   serde::Reader r(payload);

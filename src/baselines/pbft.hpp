@@ -42,7 +42,7 @@ class PbftNode : public sim::ProtocolNode {
       : cfg_(cfg), qp_(cfg.quorum_params()), keep_full_log_(keep_full_log) {}
 
   void on_start() override;
-  void on_message(NodeId from, std::span<const std::uint8_t> payload) override;
+  void on_message(NodeId from, const sim::Payload& payload) override;
   void on_timer(sim::TimerId id) override;
 
   [[nodiscard]] const std::optional<Value>& decision() const noexcept { return decision_; }

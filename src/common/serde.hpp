@@ -50,8 +50,18 @@ class Writer {
   }
 
   [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  [[nodiscard]] std::span<const std::uint8_t> span() const noexcept { return buf_; }
   [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+  // --- Scratch-buffer reuse (the zero-copy encode path, DESIGN_PERF.md) ---
+  /// Drop the contents but keep the allocation, readying the writer for the
+  /// next message. After enough messages the buffer reaches the high-water
+  /// mark and encoding stops allocating entirely.
+  void clear() noexcept { buf_.clear(); }
+  /// Pre-size the underlying buffer (e.g. to a protocol's max message size).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.capacity(); }
 
  private:
   template <class T>

@@ -8,6 +8,21 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
   return w.take();
 }
 
+std::uint8_t message_tag(const Message& m) noexcept {
+  struct Tagger {
+    std::uint8_t operator()(const Proposal&) const { return static_cast<std::uint8_t>(MsgType::Proposal); }
+    std::uint8_t operator()(const Vote&) const { return static_cast<std::uint8_t>(MsgType::Vote); }
+    std::uint8_t operator()(const Suggest&) const { return static_cast<std::uint8_t>(MsgType::Suggest); }
+    std::uint8_t operator()(const Proof&) const { return static_cast<std::uint8_t>(MsgType::Proof); }
+    std::uint8_t operator()(const ViewChange&) const { return static_cast<std::uint8_t>(MsgType::ViewChange); }
+  };
+  return std::visit(Tagger{}, m);
+}
+
+Payload encode_payload(const Message& m, serde::Writer& scratch, bool cache_decoded) {
+  return encode_to_payload(m, scratch, cache_decoded);
+}
+
 std::optional<Message> decode_message(std::span<const std::uint8_t> payload) {
   serde::Reader r(payload);
   const auto tag = r.u8();

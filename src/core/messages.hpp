@@ -13,6 +13,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/payload.hpp"
 #include "common/serde.hpp"
 #include "common/types.hpp"
 
@@ -169,6 +170,17 @@ using Message = std::variant<Proposal, Vote, Suggest, Proof, ViewChange>;
 
 /// Serialize any TetraBFT message (the first byte is the MsgType tag).
 std::vector<std::uint8_t> encode_message(const Message& m);
+
+/// The wire tag (first payload byte) of a message, without encoding it.
+[[nodiscard]] std::uint8_t message_tag(const Message& m) noexcept;
+
+/// Zero-copy encode (DESIGN_PERF.md): serialize `m` into the reusable
+/// scratch writer and freeze the bytes into one shared immutable Payload.
+/// With `cache_decoded` the payload also carries `m` beside the bytes so
+/// receivers can skip re-parsing -- only set it on the broadcast path, where
+/// the same bytes reach every node; point-to-point payloads stay
+/// total-decode (Byzantine senders craft those byte-by-byte).
+Payload encode_payload(const Message& m, serde::Writer& scratch, bool cache_decoded);
 
 /// Total decode of an untrusted payload; nullopt on any malformation.
 std::optional<Message> decode_message(std::span<const std::uint8_t> payload);

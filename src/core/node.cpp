@@ -22,16 +22,23 @@ void TetraNode::on_start() {
   enter_view(0);
 }
 
-void TetraNode::on_message(NodeId from, std::span<const std::uint8_t> payload) {
+void TetraNode::on_message(NodeId from, const sim::Payload& payload) {
+  // Decode-once fast path: a broadcast carries its decoded form beside the
+  // bytes (attached by the encoder of those exact bytes, so it cannot
+  // disagree with them); every receiver after the first re-parses nothing.
+  if (const Message* cached = payload.cached<Message>()) {
+    std::visit([this, from](const auto& m) { handle(from, m); }, *cached);
+    return;
+  }
   if (payload.empty()) return;
   if (payload.front() == Decide::kTag) {
-    serde::Reader r(payload);
+    serde::Reader r(payload.bytes());
     r.u8();
     const Decide d = Decide::decode(r);
     if (r.done()) handle_decide(from, d);
     return;
   }
-  const auto msg = decode_message(payload);
+  const auto msg = decode_message(payload.bytes());
   if (!msg) {
     ctx().metrics().counter("core.malformed").add();
     return;
@@ -191,9 +198,9 @@ void TetraNode::handle(NodeId from, const ViewChange& vc) {
   // Help stragglers: a decided node answers any view-change with its
   // decision (DESIGN.md §7).
   if (decision_ && from != ctx().id()) {
-    serde::Writer w;
-    Decide{*decision_}.encode(w);
-    ctx().send(from, w.take());
+    scratch_.clear();
+    Decide{*decision_}.encode(scratch_);
+    ctx().send(from, sim::Payload::freeze(scratch_));
   }
   if (vc.view <= vc_highest_[from]) return;
   vc_highest_[from] = vc.view;
@@ -229,7 +236,7 @@ void TetraNode::handle_decide(NodeId from, const Decide& d) {
 }
 
 void TetraNode::buffer_future(NodeId from, const Message& m, View msg_view, int phase) {
-  const auto tag = encode_message(m).front();
+  const auto tag = message_tag(m);
   const auto key = std::make_tuple(from, tag, phase);
   auto it = future_.find(key);
   if (it != future_.end() && it->second.first >= msg_view) return;

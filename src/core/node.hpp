@@ -52,7 +52,7 @@ class TetraNode : public sim::ProtocolNode {
   explicit TetraNode(TetraConfig cfg);
 
   void on_start() override;
-  void on_message(NodeId from, std::span<const std::uint8_t> payload) override;
+  void on_message(NodeId from, const sim::Payload& payload) override;
   void on_timer(sim::TimerId id) override;
 
   [[nodiscard]] const std::optional<Value>& decision() const noexcept { return decision_; }
@@ -74,8 +74,16 @@ class TetraNode : public sim::ProtocolNode {
   /// Leader path: determine a safe value (Rule 1) and propose it.
   virtual void try_propose();
 
-  void broadcast_msg(const Message& m) { ctx().broadcast(encode_message(m)); }
-  void send_msg(NodeId dst, const Message& m) { ctx().send(dst, encode_message(m)); }
+  /// One encode into the reusable scratch writer, n-way shared payload, and
+  /// the decoded message cached beside the bytes (receivers skip re-parsing).
+  void broadcast_msg(const Message& m) {
+    ctx().broadcast(encode_payload(m, scratch_, /*cache_decoded=*/true));
+  }
+  /// Point-to-point sends carry bytes only: the total-decode path stays the
+  /// sole input channel for anything that is not a shared broadcast.
+  void send_msg(NodeId dst, const Message& m) {
+    ctx().send(dst, encode_payload(m, scratch_, /*cache_decoded=*/false));
+  }
 
   [[nodiscard]] NodeId leader_of(View v) const { return cfg_.leader_of(v); }
   [[nodiscard]] bool is_leader() const { return leader_of(view_) == ctx().id(); }
@@ -130,6 +138,10 @@ class TetraNode : public sim::ProtocolNode {
 
   // Bounded future-view message buffer: key (sender, type tag, vote phase).
   std::map<std::tuple<NodeId, std::uint8_t, int>, std::pair<View, Message>> future_;
+
+  // Reusable encode scratch: grows to the high-water message size once,
+  // then every encode is a single freeze (see encode_payload).
+  serde::Writer scratch_;
 
   sim::TimerId view_timer_{0};
 };

@@ -190,6 +190,12 @@ using MsMessage =
     std::variant<MsProposal, MsVote, MsSuggest, MsProof, MsViewChange, MsChainInfo>;
 
 std::vector<std::uint8_t> encode_ms(const MsMessage& m);
+
+/// Zero-copy encode into a reusable scratch writer (one freeze, shared by
+/// all recipients). `cache_decoded` attaches the decoded message beside the
+/// bytes -- broadcast path only; see core::encode_payload for the rules.
+Payload encode_ms_payload(const MsMessage& m, serde::Writer& scratch, bool cache_decoded);
+
 std::optional<MsMessage> decode_ms(std::span<const std::uint8_t> payload);
 
 }  // namespace tbft::multishot

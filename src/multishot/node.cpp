@@ -22,6 +22,10 @@ std::vector<std::uint8_t> encode_ms(const MsMessage& m) {
   return w.take();
 }
 
+Payload encode_ms_payload(const MsMessage& m, serde::Writer& scratch, bool cache_decoded) {
+  return encode_to_payload(m, scratch, cache_decoded);
+}
+
 std::optional<MsMessage> decode_ms(std::span<const std::uint8_t> payload) {
   serde::Reader r(payload);
   const auto tag = r.u8();
@@ -301,8 +305,14 @@ void MultishotNode::prune_slots() {
   }
 }
 
-void MultishotNode::on_message(NodeId from, std::span<const std::uint8_t> payload) {
-  const auto msg = decode_ms(payload);
+void MultishotNode::on_message(NodeId from, const sim::Payload& payload) {
+  // Decode-once fast path for broadcasts (cache attached by the encoder of
+  // these exact bytes); point-to-point payloads take the total decode below.
+  if (const MsMessage* cached = payload.cached<MsMessage>()) {
+    std::visit([this, from](const auto& m) { handle(from, m); }, *cached);
+    return;
+  }
+  const auto msg = decode_ms(payload.bytes());
   if (!msg) {
     ctx().metrics().counter("multishot.malformed").add();
     return;

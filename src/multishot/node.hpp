@@ -60,7 +60,7 @@ class MultishotNode : public sim::ProtocolNode {
   explicit MultishotNode(MultishotConfig cfg);
 
   void on_start() override;
-  void on_message(NodeId from, std::span<const std::uint8_t> payload) override;
+  void on_message(NodeId from, const sim::Payload& payload) override;
   void on_timer(sim::TimerId id) override;
 
   /// Submit a transaction; included in the next fresh block this node
@@ -91,8 +91,14 @@ class MultishotNode : public sim::ProtocolNode {
   // Byzantine subclasses override.
   virtual void do_propose(Slot s, View v, const Block& block);
 
-  void broadcast_ms(const MsMessage& m) { ctx().broadcast(encode_ms(m)); }
-  void send_ms(NodeId dst, const MsMessage& m) { ctx().send(dst, encode_ms(m)); }
+  /// One encode, n-way shared payload, decode cache attached (broadcast).
+  void broadcast_ms(const MsMessage& m) {
+    ctx().broadcast(encode_ms_payload(m, scratch_, /*cache_decoded=*/true));
+  }
+  /// Point-to-point: bytes only; receivers take the total-decode path.
+  void send_ms(NodeId dst, const MsMessage& m) {
+    ctx().send(dst, encode_ms_payload(m, scratch_, /*cache_decoded=*/false));
+  }
 
  private:
   struct SlotState {
@@ -143,6 +149,10 @@ class MultishotNode : public sim::ProtocolNode {
   // ChainInfo adoption claims: (slot, hash) -> claiming senders.
   std::map<std::pair<Slot, std::uint64_t>, std::set<NodeId>> chain_claims_;
   std::map<std::pair<Slot, std::uint64_t>, Block> claimed_blocks_;
+
+  // Reusable encode scratch (see encode_ms_payload): grows once to the
+  // high-water message size, then every encode is a single freeze.
+  serde::Writer scratch_;
 
   bool record_timeline_{false};
   std::map<Slot, sim::SimTime> notarized_at_;

@@ -19,7 +19,7 @@ namespace tbft::sim {
 class SilentNode final : public ProtocolNode {
  public:
   void on_start() override {}
-  void on_message(NodeId, std::span<const std::uint8_t>) override {}
+  void on_message(NodeId, const Payload&) override {}
   void on_timer(TimerId) override {}
 };
 
@@ -30,7 +30,7 @@ class RandomJunkNode final : public ProtocolNode {
   explicit RandomJunkNode(SimTime period) : period_(period) {}
 
   void on_start() override { ctx().set_timer(period_); }
-  void on_message(NodeId, std::span<const std::uint8_t>) override {}
+  void on_message(NodeId, const Payload&) override {}
   void on_timer(TimerId) override {
     auto& rng = ctx().rng();
     std::vector<std::uint8_t> junk(rng.index(64) + 1);

@@ -1,27 +1,153 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace tbft::sim {
 
-void EventQueue::schedule_at(SimTime at, Callback fn) {
+std::uint32_t EventQueue::bucket_for(SimTime at) {
   TBFT_ASSERT_MSG(at >= now_, "cannot schedule events in the past");
-  heap_.push(Event{at, next_seq_++, std::move(fn)});
+  // Fast path: the previous schedule targeted the same timestamp (broadcasts
+  // and bursts hit this n-1 times out of n).
+  if (last_bucket_ != kNoBucket) {
+    const Bucket& b = buckets_[last_bucket_];
+    if (b.live && b.at == at) return last_bucket_;
+  }
+  if (const auto it = bucket_of_time_.find(at); it != bucket_of_time_.end()) {
+    last_bucket_ = it->second;
+    return it->second;
+  }
+  std::uint32_t index;
+  if (!free_buckets_.empty()) {
+    index = free_buckets_.back();
+    free_buckets_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(buckets_.size());
+    buckets_.emplace_back();
+    // The free list holds at most every slot; reserving alongside the slab
+    // keeps retire() allocation-free (steady-state dispatch invariant).
+    free_buckets_.reserve(buckets_.capacity());
+  }
+  Bucket& b = buckets_[index];
+  b.at = at;
+  b.next = 0;
+  b.live = true;
+  TBFT_ASSERT(b.events.empty());
+  bucket_of_time_.emplace(at, index);
+  bucket_heap_.push_back(index);
+  heap_sift_up(bucket_heap_.size() - 1);
+  last_bucket_ = index;
+  return index;
+}
+
+void EventQueue::schedule_deliver(SimTime at, NodeId src, NodeId dst, Payload payload) {
+  Bucket& b = buckets_[bucket_for(at)];
+  Event ev;
+  ev.kind = Kind::Deliver;
+  ev.src = src;
+  ev.dst = dst;
+  ev.payload = std::move(payload);
+  b.events.push_back(std::move(ev));
+  ++pending_;
+}
+
+void EventQueue::schedule_timer(SimTime at, NodeId node, TimerId id) {
+  Bucket& b = buckets_[bucket_for(at)];
+  Event ev;
+  ev.kind = Kind::Timer;
+  ev.dst = node;
+  ev.timer = id;
+  b.events.push_back(std::move(ev));
+  ++pending_;
+}
+
+void EventQueue::schedule_at(SimTime at, Callback fn) {
+  Bucket& b = buckets_[bucket_for(at)];
+  Event ev;
+  ev.kind = Kind::Call;
+  ev.fn = std::make_unique<Callback>(std::move(fn));
+  b.events.push_back(std::move(ev));
+  ++pending_;
+}
+
+void EventQueue::retire(std::uint32_t index) {
+  Bucket& b = buckets_[index];
+  TBFT_ASSERT(b.live && b.next == b.events.size());
+  b.live = false;
+  b.events.clear();  // keeps capacity for the recycled slot
+  b.next = 0;
+  bucket_of_time_.erase(b.at);
+  free_buckets_.push_back(index);
+  if (last_bucket_ == index) last_bucket_ = kNoBucket;
+  // Pop the heap root (the retiring bucket is always the minimum).
+  TBFT_ASSERT(bucket_heap_.front() == index);
+  bucket_heap_.front() = bucket_heap_.back();
+  bucket_heap_.pop_back();
+  if (!bucket_heap_.empty()) heap_sift_down(0);
+}
+
+void EventQueue::heap_sift_up(std::size_t i) {
+  if (i == 0) return;
+  const std::uint32_t moving = bucket_heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!heap_before(moving, bucket_heap_[parent])) break;
+    bucket_heap_[i] = bucket_heap_[parent];
+    i = parent;
+  }
+  bucket_heap_[i] = moving;
+}
+
+void EventQueue::heap_sift_down(std::size_t i) {
+  const std::size_t n = bucket_heap_.size();
+  const std::uint32_t moving = bucket_heap_[i];
+  for (;;) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_before(bucket_heap_[c], bucket_heap_[best])) best = c;
+    }
+    if (!heap_before(bucket_heap_[best], moving)) break;
+    bucket_heap_[i] = bucket_heap_[best];
+    i = best;
+  }
+  bucket_heap_[i] = moving;
 }
 
 bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  // priority_queue::top() is const; the callback is moved out via const_cast,
-  // which is safe because the element is popped immediately after.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  now_ = ev.at;
-  ev.fn();
+  if (pending_ == 0) return false;
+  const std::uint32_t bi = bucket_heap_.front();
+  {
+    Bucket& b = buckets_[bi];
+    now_ = b.at;
+    Event ev = std::move(b.events[b.next++]);
+    --pending_;
+    // The bucket reference dies here: dispatch may schedule events (growing
+    // `buckets_` and invalidating references), including into this bucket.
+    switch (ev.kind) {
+      case Kind::Deliver:
+        TBFT_ASSERT_MSG(sink_ != nullptr, "typed event without a sink");
+        sink_->on_deliver_event(ev.src, ev.dst, ev.payload);
+        break;
+      case Kind::Timer:
+        TBFT_ASSERT_MSG(sink_ != nullptr, "typed event without a sink");
+        sink_->on_timer_event(ev.dst, ev.timer);
+        break;
+      case Kind::Call:
+        (*ev.fn)();
+        break;
+    }
+  }
+  Bucket& b = buckets_[bi];
+  if (b.next == b.events.size()) retire(bi);
   return true;
 }
 
 void EventQueue::run_until(SimTime deadline) {
-  while (!heap_.empty() && heap_.top().at <= deadline) {
+  while (pending_ != 0 && buckets_[bucket_heap_.front()].at <= deadline) {
     step();
   }
   if (now_ < deadline) now_ = deadline;

@@ -1,29 +1,74 @@
 #pragma once
 // Deterministic discrete-event queue. Events at equal timestamps fire in
-// insertion order (monotone sequence numbers), so a simulation run is a pure
-// function of its configuration and seed.
+// insertion order, so a simulation run is a pure function of its
+// configuration and seed.
+//
+// The queue is the innermost loop of every bench and test, so it is built
+// for allocation-free, O(1)-amortized steady state (DESIGN_PERF.md):
+//  - events are a typed tagged union -- Deliver{src,dst,payload},
+//    Timer{node,id} -- not heap-allocated std::function closures; the
+//    generic Call escape hatch remains for rare driver/test hooks;
+//  - a Deliver event shares its ref-counted Payload with the sender: pushing
+//    and popping moves one pointer, never message bytes;
+//  - storage is a two-level bucket queue (calendar-queue style): a flat
+//    4-ary heap over *distinct timestamps* and a FIFO vector per timestamp.
+//    An n-way broadcast lands n events in one bucket with a single heap
+//    operation; popping walks the bucket sequentially. Per-event cost is
+//    O(1) amortized instead of O(log pending), and FIFO order within a
+//    timestamp -- the determinism contract -- holds by construction.
+//    Bucket vectors and slots are recycled through free lists, so steady-
+//    state scheduling and dispatch allocate nothing.
+//
+// Typed events are dispatched through an EventSink (implemented by the
+// Simulation), which keeps the queue free of any protocol knowledge.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/payload.hpp"
+#include "common/types.hpp"
 #include "sim/time.hpp"
 
 namespace tbft::sim {
+
+using TimerId = std::uint64_t;
+// Payload lives in common/ (tbft::Payload); re-export so simulation-facing
+// code may spell it sim::Payload alongside Envelope and NodeContext.
+using tbft::Payload;
+
+/// Receiver of typed events. Implemented by the Simulation runtime.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_deliver_event(NodeId src, NodeId dst, const Payload& payload) = 0;
+  virtual void on_timer_event(NodeId node, TimerId id) = 0;
+};
 
 class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Schedule `fn` at absolute time `at` (must be >= current time).
+  /// Must be set before typed events are scheduled.
+  void set_sink(EventSink* sink) noexcept { sink_ = sink; }
+
+  /// Message delivery to `dst` at `at`; shares (never copies) the payload.
+  void schedule_deliver(SimTime at, NodeId src, NodeId dst, Payload payload);
+  /// Timer `id` for `node` firing at `at`. Stale firings (cancelled or
+  /// superseded generations) are filtered by the sink.
+  void schedule_timer(SimTime at, NodeId node, TimerId id);
+  /// Generic escape hatch: schedule `fn` at absolute time `at`. Allocates
+  /// (type-erased closure); keep off hot paths.
   void schedule_at(SimTime at, Callback fn);
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return pending_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return pending_; }
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] SimTime next_time() const noexcept {
-    return heap_.empty() ? kNever : heap_.top().at;
+    return pending_ == 0 ? kNever : buckets_[bucket_heap_.front()].at;
   }
 
   /// Pop and run the earliest event; advances now(). Returns false if empty.
@@ -34,21 +79,46 @@ class EventQueue {
   void run_until(SimTime deadline);
 
  private:
+  enum class Kind : std::uint8_t { Deliver, Timer, Call };
+
   struct Event {
-    SimTime at;
-    std::uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    Kind kind{Kind::Call};
+    NodeId src{0};
+    NodeId dst{0};  // destination node (Deliver) / owning node (Timer)
+    TimerId timer{0};
+    Payload payload;               // Deliver only; moves are pointer swaps
+    std::unique_ptr<Callback> fn;  // Call only; boxed so hot events stay small
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::uint64_t next_seq_{0};
+  /// All events scheduled for one timestamp, in FIFO (= scheduling) order.
+  /// `next` walks the vector during dispatch; handlers may append same-time
+  /// events while their bucket is being drained (self-sends).
+  struct Bucket {
+    SimTime at{0};
+    std::vector<Event> events;
+    std::size_t next{0};
+    bool live{false};
+  };
+
+  static constexpr std::uint32_t kNoBucket = 0xFFFFFFFFu;
+  static constexpr std::size_t kArity = 4;
+
+  std::uint32_t bucket_for(SimTime at);
+  void retire(std::uint32_t index);
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  [[nodiscard]] bool heap_before(std::uint32_t a, std::uint32_t b) const noexcept {
+    return buckets_[a].at < buckets_[b].at;  // live buckets have distinct times
+  }
+
+  std::vector<Bucket> buckets_;              // slab, index-stable
+  std::vector<std::uint32_t> free_buckets_;  // recycled slots (capacity kept)
+  std::vector<std::uint32_t> bucket_heap_;   // flat 4-ary min-heap by Bucket::at
+  std::unordered_map<SimTime, std::uint32_t> bucket_of_time_;
+  std::uint32_t last_bucket_{kNoBucket};  // push-path cache: repeated same-time sends
+  std::size_t pending_{0};
   SimTime now_{0};
+  EventSink* sink_{nullptr};
 };
 
 }  // namespace tbft::sim

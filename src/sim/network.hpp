@@ -16,16 +16,20 @@
 #include <optional>
 #include <vector>
 
+#include "common/payload.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/time.hpp"
 
 namespace tbft::sim {
 
+/// One in-flight message. The payload is ref-counted and shared with every
+/// other recipient of the same broadcast -- copying an Envelope never copies
+/// message bytes (DESIGN_PERF.md).
 struct Envelope {
   NodeId src{0};
   NodeId dst{0};
-  std::vector<std::uint8_t> payload;
+  Payload payload;
 };
 
 /// How post-GST actual delays are drawn. `delta_actual` is the paper's

@@ -15,11 +15,13 @@ class Simulation::Context final : public NodeContext {
   [[nodiscard]] std::uint32_t n() const override { return sim_.node_count(); }
   [[nodiscard]] SimTime now() const override { return sim_.queue_.now(); }
 
-  void send(NodeId dst, std::vector<std::uint8_t> payload) override {
+  void send(NodeId dst, Payload payload) override {
     sim_.dispatch_send(id_, dst, std::move(payload));
   }
 
-  void broadcast(std::vector<std::uint8_t> payload) override {
+  void broadcast(Payload payload) override {
+    // Every recipient shares the same ref-counted payload: copying `payload`
+    // below bumps a reference count, never the bytes.
     const std::uint32_t n = sim_.node_count();
     for (NodeId dst = 0; dst < n; ++dst) {
       sim_.dispatch_send(id_, dst, payload);
@@ -28,16 +30,10 @@ class Simulation::Context final : public NodeContext {
 
   TimerId set_timer(SimTime delay) override {
     TBFT_ASSERT(delay >= 0);
-    const TimerId tid = sim_.next_timer_++;
-    const NodeId node = id_;
-    sim_.queue_.schedule_at(now() + delay, [this, tid, node] {
-      if (sim_.cancelled_timers_.erase(tid) > 0) return;
-      sim_.nodes_[node]->on_timer(tid);
-    });
-    return tid;
+    return sim_.arm_timer(id_, delay);
   }
 
-  void cancel_timer(TimerId tid) override { sim_.cancelled_timers_.insert(tid); }
+  void cancel_timer(TimerId tid) override { sim_.disarm_timer(tid); }
 
   void report_decision(std::uint64_t stream, Value value) override {
     sim_.trace_.record_decision(DecisionRecord{id_, stream, value, now()});
@@ -55,6 +51,7 @@ class Simulation::Context final : public NodeContext {
 Simulation::Simulation(SimConfig cfg)
     : cfg_(cfg), network_(cfg.net, Rng(mix64(cfg.seed) ^ 0x6e657477ULL)), rng_(cfg.seed) {
   trace_.set_keep_messages(cfg.keep_message_trace);
+  queue_.set_sink(this);
 }
 
 Simulation::~Simulation() = default;
@@ -74,22 +71,58 @@ void Simulation::start() {
   for (auto& node : nodes_) node->on_start();
 }
 
-void Simulation::dispatch_send(NodeId src, NodeId dst, std::vector<std::uint8_t> payload) {
+TimerId Simulation::arm_timer(NodeId node, SimTime delay) {
+  std::uint32_t slot;
+  if (!free_timer_slots_.empty()) {
+    slot = free_timer_slots_.back();
+    free_timer_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(timer_slots_.size());
+    timer_slots_.push_back(TimerSlot{});
+  }
+  TimerSlot& ts = timer_slots_[slot];
+  ts.armed = true;
+  const TimerId tid = make_timer_id(slot, ts.generation);
+  queue_.schedule_timer(queue_.now() + delay, node, tid);
+  return tid;
+}
+
+void Simulation::disarm_timer(TimerId id) {
+  if (id == 0) return;
+  const std::uint32_t slot = timer_slot_of(id);
+  if (slot >= timer_slots_.size()) return;
+  TimerSlot& ts = timer_slots_[slot];
+  if (!ts.armed || ts.generation != timer_gen_of(id)) return;  // already fired/cancelled
+  ts.armed = false;
+  ++ts.generation;  // invalidate the pending heap entry; filtered on firing
+  free_timer_slots_.push_back(slot);
+}
+
+void Simulation::on_timer_event(NodeId node, TimerId id) {
+  const std::uint32_t slot = timer_slot_of(id);
+  TBFT_ASSERT(slot < timer_slots_.size());
+  TimerSlot& ts = timer_slots_[slot];
+  if (!ts.armed || ts.generation != timer_gen_of(id)) return;  // cancelled or reused
+  ts.armed = false;
+  ++ts.generation;
+  free_timer_slots_.push_back(slot);
+  nodes_[node]->on_timer(id);
+}
+
+void Simulation::dispatch_send(NodeId src, NodeId dst, Payload payload) {
   TBFT_ASSERT(dst < nodes_.size());
   const SimTime sent_at = queue_.now();
-  const std::uint8_t tag = payload.empty() ? 0 : payload.front();
 
   if (src == dst) {
     // Self-delivery: instantaneous, free (no network traversal). Scheduled as
     // an event so handlers never re-enter each other.
-    queue_.schedule_at(sent_at, [this, src, payload = std::move(payload)] {
-      nodes_[src]->on_message(src, payload);
-    });
+    queue_.schedule_deliver(sent_at, src, src, std::move(payload));
     return;
   }
 
+  const std::uint8_t tag = payload.empty() ? 0 : payload.front();
+  const auto bytes = static_cast<std::uint32_t>(payload.size());
   Envelope env{src, dst, std::move(payload)};
-  const auto bytes = static_cast<std::uint32_t>(env.payload.size());
   const auto deliver_at = network_.schedule(env, sent_at);
 
   MessageRecord rec{src, dst, bytes, tag, sent_at, deliver_at.value_or(kNever),
@@ -97,13 +130,11 @@ void Simulation::dispatch_send(NodeId src, NodeId dst, std::vector<std::uint8_t>
   trace_.record_send(rec);
 
   if (!deliver_at) return;  // dropped during asynchrony
-  queue_.schedule_at(*deliver_at, [this, env = std::move(env)]() mutable {
-    deliver(std::move(env));
-  });
+  queue_.schedule_deliver(*deliver_at, src, dst, std::move(env.payload));
 }
 
-void Simulation::deliver(Envelope env) {
-  nodes_[env.dst]->on_message(env.src, env.payload);
+void Simulation::on_deliver_event(NodeId src, NodeId dst, const Payload& payload) {
+  nodes_[dst]->on_message(src, payload);
 }
 
 void Simulation::run_until(SimTime deadline) { queue_.run_until(deadline); }

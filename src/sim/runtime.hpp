@@ -6,15 +6,20 @@
 // world exclusively through their NodeContext -- the same shape a production
 // deployment would give them over sockets, which keeps protocol code
 // transport-agnostic.
+//
+// Hot-path design (DESIGN_PERF.md): sends and broadcasts move ref-counted
+// Payloads, so an n-way broadcast performs one encode and zero payload
+// copies; deliveries and timers are typed events dispatched without heap
+// allocation; timer cancellation uses generation-counted slots, so timer
+// bookkeeping is bounded by the peak number of concurrently-armed timers.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/payload.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/event_queue.hpp"
@@ -22,8 +27,6 @@
 #include "sim/trace.hpp"
 
 namespace tbft::sim {
-
-using TimerId = std::uint64_t;
 
 /// Services a node may use. Implemented by the Simulation.
 class NodeContext {
@@ -36,13 +39,15 @@ class NodeContext {
 
   /// Point-to-point send. Self-sends are delivered immediately (local
   /// computation is instantaneous in the model) and cost no network bytes.
-  virtual void send(NodeId dst, std::vector<std::uint8_t> payload) = 0;
+  virtual void send(NodeId dst, Payload payload) = 0;
 
   /// Send to every node, including self (protocol pseudo-code counts a
-  /// node's own broadcast toward its quorums).
-  virtual void broadcast(std::vector<std::uint8_t> payload) = 0;
+  /// node's own broadcast toward its quorums). All n recipients share one
+  /// ref-counted payload: one encode, zero buffer copies.
+  virtual void broadcast(Payload payload) = 0;
 
   /// One-shot timer firing at now()+delay. Returns an id passed to on_timer.
+  /// Ids are never 0, so 0 is a safe "no timer" sentinel.
   virtual TimerId set_timer(SimTime delay) = 0;
   virtual void cancel_timer(TimerId id) = 0;
 
@@ -65,8 +70,11 @@ class ProtocolNode {
 
   /// Called once before any message/timer, after the context is bound.
   virtual void on_start() = 0;
-  /// `from` is the authenticated channel identity of the sender.
-  virtual void on_message(NodeId from, std::span<const std::uint8_t> payload) = 0;
+  /// `from` is the authenticated channel identity of the sender. The payload
+  /// is shared with every other recipient of the same broadcast; it may carry
+  /// a sender-attached decode cache (Payload::cached) that by construction
+  /// agrees with the bytes.
+  virtual void on_message(NodeId from, const Payload& payload) = 0;
   virtual void on_timer(TimerId id) = 0;
 
   void bind(NodeContext& ctx) noexcept { ctx_ = &ctx; }
@@ -86,10 +94,10 @@ struct SimConfig {
   bool keep_message_trace{true};
 };
 
-class Simulation {
+class Simulation final : public EventSink {
  public:
   explicit Simulation(SimConfig cfg);
-  ~Simulation();
+  ~Simulation() override;
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -122,11 +130,44 @@ class Simulation {
     return dynamic_cast<T&>(*nodes_.at(id));
   }
 
+  // --- Timer bookkeeping diagnostics (bounded-storage regression tests) ---
+  /// Total timer slots ever allocated == peak number of concurrently armed
+  /// timers (slots are recycled through a free list; cancelling or firing a
+  /// timer returns its slot).
+  [[nodiscard]] std::size_t timer_slot_count() const noexcept { return timer_slots_.size(); }
+  [[nodiscard]] std::size_t armed_timer_count() const noexcept {
+    return timer_slots_.size() - free_timer_slots_.size();
+  }
+
+  // EventSink (called by the queue; not for external use).
+  void on_deliver_event(NodeId src, NodeId dst, const Payload& payload) override;
+  void on_timer_event(NodeId node, TimerId id) override;
+
  private:
   class Context;
 
-  void deliver(Envelope env);
-  void dispatch_send(NodeId src, NodeId dst, std::vector<std::uint8_t> payload);
+  /// Generation-counted timer slot: a TimerId is (generation << 32 | slot+1);
+  /// cancelling bumps the generation, so a stale heap entry is filtered on
+  /// firing with no per-cancel storage (replaces the old unbounded
+  /// cancelled-id set). The owning node travels in the queue event.
+  struct TimerSlot {
+    std::uint32_t generation{0};
+    bool armed{false};
+  };
+
+  void dispatch_send(NodeId src, NodeId dst, Payload payload);
+  TimerId arm_timer(NodeId node, SimTime delay);
+  void disarm_timer(TimerId id);
+
+  static constexpr TimerId make_timer_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+    return (static_cast<TimerId>(gen) << 32) | (slot + 1);
+  }
+  static constexpr std::uint32_t timer_slot_of(TimerId id) noexcept {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1;
+  }
+  static constexpr std::uint32_t timer_gen_of(TimerId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
 
   SimConfig cfg_;
   EventQueue queue_;
@@ -136,8 +177,8 @@ class Simulation {
   Rng rng_;
   std::vector<std::unique_ptr<ProtocolNode>> nodes_;
   std::vector<std::unique_ptr<Context>> contexts_;
-  TimerId next_timer_{1};
-  std::unordered_set<TimerId> cancelled_timers_;
+  std::vector<TimerSlot> timer_slots_;
+  std::vector<std::uint32_t> free_timer_slots_;
   bool started_{false};
 };
 

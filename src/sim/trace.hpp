@@ -4,11 +4,13 @@
 // The first payload byte of every wire message is its type tag, which the
 // trace keeps so benches can attribute bytes to protocol phases.
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/types.hpp"
 #include "sim/time.hpp"
 
@@ -22,6 +24,8 @@ struct MessageRecord {
   SimTime sent_at{0};
   SimTime delivered_at{0};  // kNever when dropped
   bool dropped{false};
+
+  friend bool operator==(const MessageRecord&, const MessageRecord&) = default;
 };
 
 struct DecisionRecord {
@@ -29,6 +33,8 @@ struct DecisionRecord {
   std::uint64_t stream{0};  // 0 for single-shot; slot for multi-shot
   Value value{};
   SimTime at{0};
+
+  friend bool operator==(const DecisionRecord&, const DecisionRecord&) = default;
 };
 
 class Trace {
@@ -38,11 +44,13 @@ class Trace {
   void set_keep_messages(bool keep) noexcept { keep_messages_ = keep; }
 
   void record_send(const MessageRecord& rec) {
+    // Hot path: called once per recipient of every send. Per-type accounting
+    // is flat-array increments; the map views are materialized on demand.
     total_messages_ += 1;
     total_bytes_ += rec.bytes;
     if (rec.dropped) dropped_messages_ += 1;
-    bytes_by_type_[rec.type_tag] += rec.bytes;
-    messages_by_type_[rec.type_tag] += 1;
+    bytes_by_type_arr_[rec.type_tag] += rec.bytes;
+    messages_by_type_arr_[rec.type_tag] += 1;
     if (keep_messages_) messages_.push_back(rec);
   }
 
@@ -51,11 +59,14 @@ class Trace {
   [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_messages_; }
   [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
   [[nodiscard]] std::uint64_t dropped_messages() const noexcept { return dropped_messages_; }
-  [[nodiscard]] const std::map<std::uint8_t, std::uint64_t>& bytes_by_type() const noexcept {
-    return bytes_by_type_;
+  /// Per-type accounting views, materialized per call from the flat hot-path
+  /// counters. Returned by value: each call is an independent snapshot (a
+  /// `const auto&` binding at a call site keeps the temporary alive).
+  [[nodiscard]] std::map<std::uint8_t, std::uint64_t> bytes_by_type() const {
+    return materialize(bytes_by_type_arr_);
   }
-  [[nodiscard]] const std::map<std::uint8_t, std::uint64_t>& messages_by_type() const noexcept {
-    return messages_by_type_;
+  [[nodiscard]] std::map<std::uint8_t, std::uint64_t> messages_by_type() const {
+    return materialize(messages_by_type_arr_);
   }
   [[nodiscard]] const std::vector<MessageRecord>& messages() const noexcept { return messages_; }
   [[nodiscard]] const std::vector<DecisionRecord>& decisions() const noexcept {
@@ -81,22 +92,54 @@ class Trace {
     return true;
   }
 
+  /// Order-sensitive digest over every recorded send and decision. Two runs
+  /// with the same seed/config must produce equal digests (determinism
+  /// regression; see tests/test_determinism.cpp). Requires message recording.
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    std::uint64_t h = kFnvOffset;
+    for (const auto& m : messages_) {
+      h = hash_combine(h, (static_cast<std::uint64_t>(m.src) << 32) | m.dst);
+      h = hash_combine(h, (static_cast<std::uint64_t>(m.bytes) << 16) |
+                              (static_cast<std::uint64_t>(m.type_tag) << 8) |
+                              (m.dropped ? 1 : 0));
+      h = hash_combine(h, static_cast<std::uint64_t>(m.sent_at));
+      h = hash_combine(h, static_cast<std::uint64_t>(m.delivered_at));
+    }
+    for (const auto& d : decisions_) {
+      h = hash_combine(h, (static_cast<std::uint64_t>(d.node) << 32) ^ d.stream);
+      h = hash_combine(h, d.value.id);
+      h = hash_combine(h, static_cast<std::uint64_t>(d.at));
+    }
+    return h;
+  }
+
   void reset_message_counters() noexcept {
     total_messages_ = 0;
     total_bytes_ = 0;
     dropped_messages_ = 0;
-    bytes_by_type_.clear();
-    messages_by_type_.clear();
+    bytes_by_type_arr_.fill(0);
+    messages_by_type_arr_.fill(0);
     messages_.clear();
   }
 
  private:
+  /// Build the sparse map view of a flat per-tag counter array (accessor
+  /// path only; rebuilding is cheap next to any run that filled it).
+  static std::map<std::uint8_t, std::uint64_t> materialize(
+      const std::array<std::uint64_t, 256>& arr) {
+    std::map<std::uint8_t, std::uint64_t> view;
+    for (std::size_t tag = 0; tag < arr.size(); ++tag) {
+      if (arr[tag] != 0) view.emplace(static_cast<std::uint8_t>(tag), arr[tag]);
+    }
+    return view;
+  }
+
   bool keep_messages_{true};
   std::uint64_t total_messages_{0};
   std::uint64_t total_bytes_{0};
   std::uint64_t dropped_messages_{0};
-  std::map<std::uint8_t, std::uint64_t> bytes_by_type_;
-  std::map<std::uint8_t, std::uint64_t> messages_by_type_;
+  std::array<std::uint64_t, 256> bytes_by_type_arr_{};
+  std::array<std::uint64_t, 256> messages_by_type_arr_{};
   std::vector<MessageRecord> messages_;
   std::vector<DecisionRecord> decisions_;
 };

@@ -284,7 +284,9 @@ TEST(Baselines, TwoSilentLeadersWithSevenNodes) {
   ASSERT_TRUE(c.sim->run_until_pred([&] { return c.all_decided(); }, 120 * sim::kSecond));
   EXPECT_TRUE(c.sim->trace().agreement_holds());
   for (auto* n : c.nodes) {
-    if (n != nullptr) EXPECT_EQ(n->current_view(), 2);
+    if (n != nullptr) {
+      EXPECT_EQ(n->current_view(), 2);
+    }
   }
 }
 

@@ -173,7 +173,7 @@ TEST(Byzantine, FPlusOneDecideClaimsRequiredForAdoption) {
       core::Decide{kBadA}.encode(w);
       ctx().broadcast(w.take());
     }
-    void on_message(NodeId, std::span<const std::uint8_t>) override {}
+    void on_message(NodeId, const sim::Payload&) override {}
     void on_timer(sim::TimerId) override {}
   };
   ClusterOptions opts;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "sim/adversary.hpp"
 
 namespace tbft::sim {
@@ -14,7 +16,7 @@ class PingPongNode final : public ProtocolNode {
   void on_start() override {
     if (ctx().id() == 0) ctx().send(1, {3});  // 3 hops to go
   }
-  void on_message(NodeId from, std::span<const std::uint8_t> payload) override {
+  void on_message(NodeId from, const Payload& payload) override {
     ++received;
     last_at = ctx().now();
     if (!payload.empty() && payload.front() > 0) {
@@ -34,7 +36,7 @@ class TimerNode final : public ProtocolNode {
     dropped = ctx().set_timer(5);
     ctx().cancel_timer(dropped);
   }
-  void on_message(NodeId, std::span<const std::uint8_t>) override {}
+  void on_message(NodeId, const Payload&) override {}
   void on_timer(TimerId id) override { fired.push_back(id); }
 
   TimerId keep{0};
@@ -47,7 +49,7 @@ class BroadcastOnceNode final : public ProtocolNode {
   void on_start() override {
     if (ctx().id() == 0) ctx().broadcast({42});
   }
-  void on_message(NodeId from, std::span<const std::uint8_t> payload) override {
+  void on_message(NodeId from, const Payload& payload) override {
     froms.push_back(from);
     ASSERT_EQ(payload.size(), 1u);
     at = ctx().now();
@@ -123,7 +125,7 @@ TEST(Runtime, DecisionRecordingAndAgreement) {
   class Decider final : public ProtocolNode {
    public:
     void on_start() override { ctx().report_decision(0, Value{7}); }
-    void on_message(NodeId, std::span<const std::uint8_t>) override {}
+    void on_message(NodeId, const Payload&) override {}
     void on_timer(TimerId) override {}
   };
   Simulation sim(basic_cfg());
@@ -161,6 +163,125 @@ TEST(Runtime, SilentNodeDoesNothing) {
   sim.start();
   sim.run_to_quiescence(kSecond);
   EXPECT_EQ(sim.trace().total_messages(), 0u);
+}
+
+/// Arms and immediately cancels a timer every tick, 10k times: the classic
+/// leaky-bookkeeping workload (the seed runtime grew an unbounded
+/// cancelled-id set under it).
+class TimerChurnNode final : public ProtocolNode {
+ public:
+  static constexpr int kRounds = 10000;
+
+  void on_start() override { tick(); }
+  void on_message(NodeId, const Payload&) override {}
+  void on_timer(TimerId id) override {
+    if (id != keeper_) return;
+    ++fired;
+    tick();
+  }
+
+  int fired{0};
+
+ private:
+  void tick() {
+    if (fired >= kRounds) return;
+    // One throwaway timer cancelled right away, plus the keeper that drives
+    // the next round; the throwaway's slot must be recycled.
+    const TimerId doomed = ctx().set_timer(5);
+    ctx().cancel_timer(doomed);
+    ctx().cancel_timer(doomed);  // double-cancel must be harmless
+    keeper_ = ctx().set_timer(1);
+  }
+
+  TimerId keeper_{0};
+};
+
+TEST(Runtime, CancelledTimerBookkeepingStaysBounded) {
+  Simulation sim(basic_cfg());
+  sim.add_node(std::make_unique<TimerChurnNode>());
+  sim.start();
+  sim.run_to_quiescence(3600 * kSecond);
+
+  auto& n = sim.node_as<TimerChurnNode>(0);
+  EXPECT_EQ(n.fired, TimerChurnNode::kRounds);
+  // 20k timers were armed and 10k cancelled, but slots are generation-counted
+  // and recycled: live storage is the peak number of concurrently armed
+  // timers (keeper + doomed + a stale heap entry or two), not O(cancels).
+  EXPECT_LE(sim.timer_slot_count(), 4u);
+  EXPECT_EQ(sim.armed_timer_count(), 0u);
+}
+
+TEST(Runtime, CancellingAFiredTimerIsHarmless) {
+  class LateCancelNode final : public ProtocolNode {
+   public:
+    void on_start() override { first_ = ctx().set_timer(1); }
+    void on_message(NodeId, const Payload&) override {}
+    void on_timer(TimerId id) override {
+      fired.push_back(id);
+      if (id == first_) {
+        ctx().cancel_timer(first_);  // already fired: must be a no-op...
+        second_ = ctx().set_timer(1);  // ...and must not kill a fresh timer
+      }
+    }
+    std::vector<TimerId> fired;
+
+   private:
+    TimerId first_{0};
+    TimerId second_{0};
+  };
+
+  Simulation sim(basic_cfg());
+  sim.add_node(std::make_unique<LateCancelNode>());
+  sim.start();
+  sim.run_to_quiescence(kSecond);
+  // Both timers fired: the late cancel neither crashed nor invalidated the
+  // recycled slot's new generation.
+  EXPECT_EQ(sim.node_as<LateCancelNode>(0).fired.size(), 2u);
+  EXPECT_EQ(sim.armed_timer_count(), 0u);
+}
+
+TEST(Runtime, TimerIdsAreNeverZeroAndNeverRepeatWhileArmed) {
+  class ManyTimersNode final : public ProtocolNode {
+   public:
+    void on_start() override {
+      for (int i = 0; i < 100; ++i) ids.push_back(ctx().set_timer(10 + i));
+    }
+    void on_message(NodeId, const Payload&) override {}
+    void on_timer(TimerId) override {}
+    std::vector<TimerId> ids;
+  };
+
+  Simulation sim(basic_cfg());
+  sim.add_node(std::make_unique<ManyTimersNode>());
+  sim.start();
+  auto& n = sim.node_as<ManyTimersNode>(0);
+  std::set<TimerId> unique(n.ids.begin(), n.ids.end());
+  EXPECT_EQ(unique.size(), n.ids.size());
+  EXPECT_EQ(unique.count(0), 0u);
+  EXPECT_EQ(sim.armed_timer_count(), 100u);
+  sim.run_to_quiescence(kSecond);
+  EXPECT_EQ(sim.armed_timer_count(), 0u);
+}
+
+TEST(Runtime, BroadcastSharesOnePayloadAcrossRecipients) {
+  auto& stats = Payload::stats();
+  const auto frozen_before = stats.frozen;
+  const auto adopted_before = stats.adopted;
+  const auto copies_before = stats.buffer_copies;
+
+  Simulation sim(basic_cfg());
+  for (int i = 0; i < 8; ++i) sim.add_node(std::make_unique<BroadcastOnceNode>());
+  sim.start();
+  sim.run_to_quiescence(10 * kSecond);
+
+  for (NodeId i = 0; i < 8; ++i) {
+    EXPECT_EQ(sim.node_as<BroadcastOnceNode>(i).froms.size(), 1u) << "node " << i;
+  }
+  // One broadcast := one payload materialization (here: vector adoption) and
+  // zero buffer copies, regardless of the 8 recipients.
+  EXPECT_EQ(stats.frozen, frozen_before);
+  EXPECT_EQ(stats.adopted, adopted_before + 1);
+  EXPECT_EQ(stats.buffer_copies, copies_before);
 }
 
 TEST(Runtime, PreGstDropsAreRecorded) {

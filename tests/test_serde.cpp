@@ -142,5 +142,52 @@ TEST(Serde, ReaderOnEmptyInput) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(Serde, WriterClearKeepsCapacityForReuse) {
+  Writer w;
+  w.reserve(256);
+  const std::size_t cap = w.capacity();
+  EXPECT_GE(cap, 256u);
+
+  w.u64(0xDEADBEEFCAFEBABEULL);
+  w.str("first message");
+  EXPECT_GT(w.size(), 0u);
+
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.capacity(), cap);  // scratch reuse: the allocation survives
+
+  // The writer encodes correctly after clear(), with no stale bytes.
+  w.u32(7);
+  Reader r(w.data());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, WriterReuseProducesIdenticalEncodings) {
+  Writer scratch;
+  std::vector<std::uint8_t> first;
+  for (int round = 0; round < 3; ++round) {
+    scratch.clear();
+    scratch.varint(123456);
+    scratch.str("payload");
+    scratch.boolean(true);
+    if (round == 0) {
+      first.assign(scratch.data().begin(), scratch.data().end());
+    } else {
+      EXPECT_EQ(scratch.data(), first);
+    }
+  }
+}
+
+TEST(Serde, WriterSpanViewsCurrentContents) {
+  Writer w;
+  w.u8(0xAB);
+  w.u8(0xCD);
+  const auto s = w.span();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 0xAB);
+  EXPECT_EQ(s[1], 0xCD);
+}
+
 }  // namespace
 }  // namespace tbft::serde
