@@ -1,0 +1,132 @@
+#pragma once
+// Shared command-line helper for the bench binaries: `--flag value` pairs
+// with typed targets, defaults shown in --help, and strict parsing (unknown
+// or malformed flags fail the run). Keeps perf-trajectory runs reproducible
+// from the command line: every bench exposes at least its seed and problem
+// size through the same interface.
+//
+//   tbft::bench::Cli cli("bench_workload");
+//   cli.flag("seed", &seed, "deterministic run seed");
+//   if (!cli.parse(argc, argv)) return 2;
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tbft::bench {
+
+class Cli {
+ public:
+  explicit Cli(std::string name) : name_(std::move(name)) {}
+
+  void flag(const char* flag_name, std::uint64_t* target, const char* help) {
+    entries_.push_back({flag_name, target, help});
+  }
+  void flag(const char* flag_name, std::uint32_t* target, const char* help) {
+    entries_.push_back({flag_name, target, help});
+  }
+  void flag(const char* flag_name, double* target, const char* help) {
+    entries_.push_back({flag_name, target, help});
+  }
+
+  /// Returns false (after printing usage) on --help, unknown flags, missing
+  /// or malformed values.
+  bool parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        usage();
+        return false;
+      }
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "%s: expected --flag, got '%s'\n", name_.c_str(), arg.c_str());
+        usage();
+        return false;
+      }
+      Entry* entry = find(arg.substr(2));
+      if (entry == nullptr) {
+        std::fprintf(stderr, "%s: unknown flag '%s'\n", name_.c_str(), arg.c_str());
+        usage();
+        return false;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: flag '%s' needs a value\n", name_.c_str(), arg.c_str());
+        usage();
+        return false;
+      }
+      if (!assign(*entry, argv[++i])) {
+        std::fprintf(stderr, "%s: bad value '%s' for '%s'\n", name_.c_str(), argv[i],
+                     arg.c_str());
+        usage();
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void usage() const {
+    std::fprintf(stderr, "usage: %s", name_.c_str());
+    for (const auto& e : entries_) std::fprintf(stderr, " [--%s N]", e.name.c_str());
+    std::fprintf(stderr, "\n");
+    for (const auto& e : entries_) {
+      std::fprintf(stderr, "  --%-16s %s (default: %s)\n", e.name.c_str(), e.help.c_str(),
+                   default_of(e).c_str());
+    }
+  }
+
+ private:
+  using Target = std::variant<std::uint64_t*, std::uint32_t*, double*>;
+  struct Entry {
+    std::string name;
+    Target target;
+    std::string help;
+  };
+
+  Entry* find(const std::string& flag_name) {
+    for (auto& e : entries_) {
+      if (e.name == flag_name) return &e;
+    }
+    return nullptr;
+  }
+
+  static bool assign(Entry& entry, const char* text) {
+    char* end = nullptr;
+    if (auto** u64 = std::get_if<std::uint64_t*>(&entry.target)) {
+      const auto v = std::strtoull(text, &end, 0);
+      if (end == text || *end != '\0') return false;
+      **u64 = v;
+      return true;
+    }
+    if (auto** u32 = std::get_if<std::uint32_t*>(&entry.target)) {
+      const auto v = std::strtoull(text, &end, 0);
+      if (end == text || *end != '\0' || v > UINT32_MAX) return false;
+      **u32 = static_cast<std::uint32_t>(v);
+      return true;
+    }
+    auto** d = std::get_if<double*>(&entry.target);
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0') return false;
+    **d = v;
+    return true;
+  }
+
+  static std::string default_of(const Entry& e) {
+    char buf[32];
+    if (const auto* const* u64 = std::get_if<std::uint64_t*>(&e.target)) {
+      std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(**u64));
+    } else if (const auto* const* u32 = std::get_if<std::uint32_t*>(&e.target)) {
+      std::snprintf(buf, sizeof buf, "%u", **u32);
+    } else {
+      std::snprintf(buf, sizeof buf, "%g", **std::get_if<double*>(&e.target));
+    }
+    return buf;
+  }
+
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tbft::bench

@@ -7,22 +7,32 @@
 
 #include <cstdio>
 
+#include "bench_cli.hpp"
 #include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "core/node.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbft::bench;
   using namespace tbft;
+
+  std::uint64_t seed = 1;
+  std::uint32_t n_max = 31;
+  Cli cli("bench_scaling");
+  cli.flag("seed", &seed, "deterministic run seed");
+  cli.flag("n-max", &n_max, "largest cluster size swept");
+  if (!cli.parse(argc, argv)) return 2;
 
   print_header("TetraBFT communication scaling (good case / with view change)");
   std::printf("%6s %14s %12s %16s %14s\n", "n", "bytes(good)", "msgs(good)", "bytes(vc)",
               "per-node B/n");
   std::vector<std::pair<double, double>> good_curve, vc_curve;
   for (std::uint32_t n : {4u, 7u, 10u, 13u, 19u, 25u, 31u}) {
+    if (n > n_max) break;
     RunOptions opts;
     opts.n = n;
     opts.f = (n - 1) / 3;
+    opts.seed = seed;
     const auto g = run_tetra(opts);
     opts.silent_leader0 = true;
     const auto v = run_tetra(opts);

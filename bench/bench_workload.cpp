@@ -1,0 +1,135 @@
+// Workload bench: client-perceived performance of the multishot pipeline
+// under generated load -- the metric TetraBFT's latency claims are about.
+// Runs every scenario preset (open loop, closed loop, burst, and the fault
+// presets) through src/workload/, prints committed throughput and the
+// submit->commit latency distribution, and enforces the accounting contract
+// by exit code: every committed request was admitted exactly once (no loss,
+// no double-commit), and every preset with a reject-new mempool commits all
+// admitted requests.
+//
+// Run: bench_workload [--seed S] [--duration-ms D] [--n N] [--rate R]
+//                     [--clients C] [--outstanding K] [--request-bytes B]
+//                     [--batch-txs T] [--batch-bytes Y]
+// Emits BENCH_workload.json for trajectory tracking.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_cli.hpp"
+#include "bench_json.hpp"
+#include "workload/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tbft;
+  using namespace tbft::bench;
+  using workload::Preset;
+
+  std::uint64_t seed = 1;
+  std::uint64_t duration_ms = 500;
+  std::uint32_t n = 4;
+  double rate = 2000.0;
+  std::uint32_t clients = 2;
+  std::uint32_t outstanding = 16;
+  std::uint32_t request_bytes = 64;
+  std::uint32_t batch_txs = 64;
+  std::uint32_t batch_bytes = 8192;
+
+  Cli cli("bench_workload");
+  cli.flag("seed", &seed, "deterministic run seed");
+  cli.flag("duration-ms", &duration_ms, "load window per preset");
+  cli.flag("n", &n, "cluster size (f = (n-1)/3)");
+  cli.flag("rate", &rate, "open-loop arrivals/sec per client");
+  cli.flag("clients", &clients, "generator count");
+  cli.flag("outstanding", &outstanding, "closed-loop k per client");
+  cli.flag("request-bytes", &request_bytes, "encoded request size");
+  cli.flag("batch-txs", &batch_txs, "leader batch transaction cap");
+  cli.flag("batch-bytes", &batch_bytes, "leader batch byte budget");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const auto base_opts = [&](Preset preset, bool closed_loop) {
+    workload::ScenarioOptions opts;
+    opts.preset = preset;
+    opts.closed_loop = closed_loop;
+    opts.seed = seed;
+    opts.n = n;
+    opts.f = (n - 1) / 3;
+    opts.load_duration = static_cast<sim::SimTime>(duration_ms) * sim::kMillisecond;
+    opts.rate_per_sec = rate;
+    opts.clients = clients;
+    opts.outstanding = outstanding;
+    opts.request_bytes = request_bytes;
+    opts.max_batch_txs = batch_txs;
+    opts.max_batch_bytes = batch_bytes;
+    return opts;
+  };
+
+  struct Row {
+    const char* title;
+    workload::ScenarioOptions opts;
+  };
+  const std::vector<Row> rows = {
+      {"open-loop steady", base_opts(Preset::kSteadyState, false)},
+      {"closed-loop steady", base_opts(Preset::kSteadyState, true)},
+      {"open-loop burst", base_opts(Preset::kBurst, false)},
+      {"partition-during-load", base_opts(Preset::kPartitionDuringLoad, false)},
+      {"leader-crash-under-load", base_opts(Preset::kLeaderCrashUnderLoad, false)},
+      {"junk-flood-under-load", base_opts(Preset::kJunkFloodUnderLoad, false)},
+  };
+
+  std::printf(
+      "workload bench: n=%u seed=%llu window=%llums rate=%g/s x%u clients, k=%u "
+      "(closed loop), batch <= %u txs / %u bytes\n\n",
+      n, static_cast<unsigned long long>(seed), static_cast<unsigned long long>(duration_ms),
+      rate, clients, outstanding, batch_txs, batch_bytes);
+
+  bool ok = true;
+  std::vector<workload::ScenarioResult> results;
+  for (const auto& row : rows) {
+    const auto res = workload::run_scenario(row.opts);
+    res.report.print(row.title);
+    results.push_back(res);
+    if (!res.report.exactly_once()) {
+      std::printf("  ACCOUNTING VIOLATION: duplicates=%llu foreign=%llu\n",
+                  static_cast<unsigned long long>(res.report.duplicates),
+                  static_cast<unsigned long long>(res.report.foreign));
+      ok = false;
+    }
+    if (!res.all_admitted_committed) {
+      std::printf("  LOSS: %llu admitted requests never committed\n",
+                  static_cast<unsigned long long>(res.report.outstanding()));
+      ok = false;
+    }
+    if (!res.chains_consistent) {
+      std::printf("  CONSISTENCY VIOLATION: finalized chains diverge\n");
+      ok = false;
+    }
+  }
+
+  const auto& open = results[0].report;
+  const auto& closed = results[1].report;
+  JsonReport report("workload");
+  report.field("n", n)
+      .field("seed", seed)
+      .field("duration_ms", duration_ms)
+      .field("rate_per_sec", rate)
+      .field("clients", clients)
+      .field("outstanding", outstanding)
+      .field("request_bytes", request_bytes)
+      .field("open_committed", open.committed)
+      .field("open_tx_per_sec", open.committed_tx_per_sec)
+      .field("open_latency_p50_ms", open.latency_p50_ms)
+      .field("open_latency_p95_ms", open.latency_p95_ms)
+      .field("open_latency_p99_ms", open.latency_p99_ms)
+      .field("open_batch_txs_mean", open.batch_txs_mean)
+      .field("closed_committed", closed.committed)
+      .field("closed_tx_per_sec", closed.committed_tx_per_sec)
+      .field("closed_latency_p50_ms", closed.latency_p50_ms)
+      .field("closed_latency_p95_ms", closed.latency_p95_ms)
+      .field("closed_latency_p99_ms", closed.latency_p99_ms)
+      .field("exactly_once", ok ? "yes" : "NO");
+  report.write();
+
+  std::printf("\n%s\n", ok ? "ALL WORKLOAD ACCOUNTING INVARIANTS HOLD"
+                           : "WORKLOAD ACCOUNTING VIOLATED");
+  return ok ? 0 : 1;
+}

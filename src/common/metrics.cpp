@@ -8,6 +8,9 @@ double Histogram::percentile(double p) const {
   if (samples_.empty()) return 0.0;
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
+  // Clamp: p outside [0, 100] would index out of range (negative rank floors
+  // below zero and wraps on the size_t cast).
+  p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
   const auto hi = static_cast<std::size_t>(std::ceil(rank));

@@ -20,13 +20,17 @@ std::uint64_t Reader::varint() {
 }
 
 std::vector<std::uint8_t> Reader::bytes() {
+  const auto view = bytes_view();
+  return {view.begin(), view.end()};
+}
+
+std::span<const std::uint8_t> Reader::bytes_view() {
   const std::uint64_t len = varint();
   if (!ok_ || data_.size() - pos_ < len) {
     ok_ = false;
     return {};
   }
-  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  const auto out = data_.subspan(pos_, len);
   pos_ += len;
   return out;
 }

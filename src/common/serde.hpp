@@ -87,6 +87,9 @@ class Reader {
 
   std::uint64_t varint();
   std::vector<std::uint8_t> bytes();
+  /// Like bytes(), but a view into the input -- no copy. The span is valid
+  /// only while the underlying buffer outlives the Reader's caller.
+  std::span<const std::uint8_t> bytes_view();
   std::string str();
 
   /// True iff no decode error occurred and (optionally) all input consumed.

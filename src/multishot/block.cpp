@@ -1,4 +1,21 @@
 #include "multishot/block.hpp"
 
-// Block is header-only; this translation unit anchors the library target.
-namespace tbft::multishot {}
+namespace tbft::multishot {
+
+std::vector<std::span<const std::uint8_t>> payload_frames(
+    std::span<const std::uint8_t> payload) {
+  std::vector<std::span<const std::uint8_t>> frames;
+  serde::Reader r(payload);
+  r.varint();  // view nonce
+  while (r.ok() && !r.at_end()) {
+    const auto f = r.bytes_view();
+    if (!r.ok()) break;
+    // Zero-length "frames" are filler padding (zero bytes parse as empty
+    // bytes()), never transactions -- the mempool rejects empty submissions,
+    // so skipping them here keeps padding from aliasing real entries.
+    if (!f.empty()) frames.push_back(f);
+  }
+  return frames;
+}
+
+}  // namespace tbft::multishot

@@ -4,6 +4,7 @@
 // (implicit) basic-TetraBFT instance.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -47,5 +48,13 @@ struct Block {
     return b;
   }
 };
+
+/// Transaction frames of a block payload built by the leader batching path:
+/// `varint(view-nonce)` followed by length-prefixed transactions. The
+/// returned spans view into `payload`. Parsing is total -- filler padding,
+/// Byzantine garbage, and foreign trailing bytes terminate the walk cleanly
+/// (possibly with zero frames).
+std::vector<std::span<const std::uint8_t>> payload_frames(
+    std::span<const std::uint8_t> payload);
 
 }  // namespace tbft::multishot

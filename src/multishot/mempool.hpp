@@ -1,0 +1,128 @@
+#pragma once
+// Bounded transaction mempool for the multi-shot node (workload path,
+// DESIGN_PERF.md): a FIFO of pending client transactions with an explicit
+// capacity and admission policy, replacing the seed's unbounded std::deque.
+//
+// Entries carry an `inflight` mark while they sit in a proposed-but-not-yet-
+// finalized block of this node, so the leader never includes the same
+// transaction in two of its own pipelined blocks (exactly-once inclusion;
+// the mark is released if the proposal is aborted by a view change, once the
+// slot finalizes with someone else's block).
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace tbft::multishot {
+
+/// What happens when a transaction arrives at a full mempool.
+enum class MempoolPolicy : std::uint8_t {
+  kRejectNew,   // refuse the arriving transaction (backpressure to the client)
+  kDropOldest,  // evict the oldest non-inflight entry to make room
+};
+
+class BoundedMempool {
+ public:
+  struct Entry {
+    std::vector<std::uint8_t> tx;
+    std::uint64_t hash{0};  // fnv1a64(tx), computed once at admission
+    bool inflight{false};   // included in a proposed, unfinalized block
+    Slot slot{0};           // slot of that proposal (valid iff inflight)
+  };
+
+  /// Outcome of an admission attempt.
+  enum class Admit : std::uint8_t {
+    kAdmitted,      // appended
+    kRejected,      // refused: full under kRejectNew, or oversized
+    kDroppedOldest, // appended after evicting the oldest non-inflight entry
+  };
+
+  BoundedMempool(std::size_t capacity, MempoolPolicy policy)
+      : capacity_(capacity), policy_(policy) {}
+
+  /// Admit `tx`. Transactions larger than `max_tx_bytes` (0 = no limit) can
+  /// never fit a batch; empty ones are indistinguishable from block filler
+  /// padding -- both are rejected outright.
+  Admit push(std::vector<std::uint8_t> tx, std::size_t max_tx_bytes = 0) {
+    if (tx.empty() || (max_tx_bytes != 0 && tx.size() > max_tx_bytes)) {
+      ++rejected_;
+      return Admit::kRejected;
+    }
+    bool evicted = false;
+    if (entries_.size() >= capacity_) {
+      if (policy_ == MempoolPolicy::kRejectNew || !evict_oldest()) {
+        ++rejected_;
+        return Admit::kRejected;
+      }
+      evicted = true;
+    }
+    const std::uint64_t hash = fnv1a64(tx);
+    entries_.push_back(Entry{std::move(tx), hash, false, 0});
+    ++admitted_;
+    if (evicted) {
+      ++dropped_oldest_;
+      return Admit::kDroppedOldest;
+    }
+    return Admit::kAdmitted;
+  }
+
+  /// Mark `e` as included in this node's proposal for `slot`.
+  void mark_inflight(Entry& e, Slot slot) noexcept {
+    if (!e.inflight) ++inflight_;
+    e.inflight = true;
+    e.slot = slot;
+  }
+
+  /// Return `e` to the available pool (its proposal was aborted).
+  void release(Entry& e) noexcept {
+    if (e.inflight) --inflight_;
+    e.inflight = false;
+    e.slot = 0;
+  }
+
+  std::deque<Entry>::iterator erase(std::deque<Entry>::iterator it) {
+    if (it->inflight) --inflight_;
+    return entries_.erase(it);
+  }
+
+  [[nodiscard]] std::deque<Entry>& entries() noexcept { return entries_; }
+  [[nodiscard]] const std::deque<Entry>& entries() const noexcept { return entries_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  /// Entries not currently included in an outstanding proposal.
+  [[nodiscard]] std::size_t available() const noexcept { return entries_.size() - inflight_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] MempoolPolicy policy() const noexcept { return policy_; }
+
+  // Lifetime admission accounting (mirrored into MetricsRegistry by the node).
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] std::uint64_t dropped_oldest() const noexcept { return dropped_oldest_; }
+
+ private:
+  /// Drop the oldest entry that is not inflight (inflight entries are pinned:
+  /// their bytes are referenced by an outstanding proposal's bookkeeping).
+  bool evict_oldest() {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->inflight) {
+        entries_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t capacity_;
+  MempoolPolicy policy_;
+  std::deque<Entry> entries_;
+  std::size_t inflight_{0};
+  std::uint64_t admitted_{0};
+  std::uint64_t rejected_{0};
+  std::uint64_t dropped_oldest_{0};
+};
+
+}  // namespace tbft::multishot

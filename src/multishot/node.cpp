@@ -14,6 +14,47 @@ namespace {
 constexpr std::size_t kMaxTrackedViewsPerSlot = 32;
 /// ChainInfo claims are only tracked this far past the finalized tip.
 constexpr Slot kClaimWindow = 16;
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+bool frames_contain(const std::vector<std::span<const std::uint8_t>>& frames,
+                    std::span<const std::uint8_t> tx) {
+  for (const auto& f : frames) {
+    if (f.size() == tx.size() && std::equal(f.begin(), f.end(), tx.begin())) return true;
+  }
+  return false;
+}
+
+/// Hash-indexed view of a block's frames for mempool reconciliation: sorted
+/// (fnv1a64, frame) pairs, probed per entry in O(log frames) with an exact
+/// byte comparison only on hash hits.
+struct FrameIndex {
+  explicit FrameIndex(const std::vector<std::span<const std::uint8_t>>& frames) {
+    keyed.reserve(frames.size());
+    for (const auto& f : frames) keyed.emplace_back(fnv1a64(f), f);
+    std::sort(keyed.begin(), keyed.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t hash, std::span<const std::uint8_t> tx) const {
+    auto it = std::lower_bound(keyed.begin(), keyed.end(), hash,
+                               [](const auto& e, std::uint64_t h) { return e.first < h; });
+    for (; it != keyed.end() && it->first == hash; ++it) {
+      const auto& f = it->second;
+      if (f.size() == tx.size() && std::equal(f.begin(), f.end(), tx.begin())) return true;
+    }
+    return false;
+  }
+
+  std::vector<std::pair<std::uint64_t, std::span<const std::uint8_t>>> keyed;
+};
 }  // namespace
 
 std::vector<std::uint8_t> encode_ms(const MsMessage& m) {
@@ -44,15 +85,45 @@ std::optional<MsMessage> decode_ms(std::span<const std::uint8_t> payload) {
   return out;
 }
 
-MultishotNode::MultishotNode(MultishotConfig cfg) : cfg_(cfg), qp_(cfg.quorum_params()) {}
+MultishotNode::MultishotNode(MultishotConfig cfg)
+    : cfg_(cfg),
+      qp_(cfg.quorum_params()),
+      mempool_(cfg.mempool_capacity, cfg.mempool_policy) {}
 
 void MultishotNode::on_start() {
   start_slot(1);
   try_propose(1);
 }
 
-void MultishotNode::submit_tx(std::vector<std::uint8_t> tx) {
-  mempool_.push_back(std::move(tx));
+bool MultishotNode::submit_tx(std::vector<std::uint8_t> tx) {
+  const auto verdict = mempool_.push(std::move(tx), cfg_.max_batch_bytes);
+  auto& metrics = ctx().metrics();
+  switch (verdict) {
+    case BoundedMempool::Admit::kRejected:
+      metrics.counter("multishot.mempool.rejected").add();
+      break;
+    case BoundedMempool::Admit::kDroppedOldest:
+      metrics.counter("multishot.mempool.dropped_oldest").add();
+      [[fallthrough]];
+    case BoundedMempool::Admit::kAdmitted:
+      metrics.counter("multishot.mempool.admitted").add();
+      break;
+  }
+  metrics.histogram("multishot.mempool.depth").record(static_cast<double>(mempool_.size()));
+  if (verdict == BoundedMempool::Admit::kRejected) return false;
+
+  // A leader deferring a fresh proposal for transactions (batch_timeout) can
+  // propose now.
+  if (!batch_timer_slots_.empty()) {
+    std::vector<Slot> woken;
+    woken.reserve(batch_timer_slots_.size());
+    for (const auto& [tid, s] : batch_timer_slots_) woken.push_back(s);
+    for (const Slot s : woken) {
+      if (SlotState* st = slot_state(s, false); st != nullptr) cancel_batch_timer(*st);
+    }
+    for (const Slot s : woken) try_propose(s);
+  }
+  return true;
 }
 
 View MultishotNode::view_of(Slot s) const {
@@ -62,10 +133,7 @@ View MultishotNode::view_of(Slot s) const {
 
 bool MultishotNode::tx_finalized(std::span<const std::uint8_t> tx) const {
   for (const auto& b : chain_.finalized_chain()) {
-    if (std::search(b.payload.begin(), b.payload.end(), tx.begin(), tx.end()) !=
-        b.payload.end()) {
-      return true;
-    }
+    if (frames_contain(payload_frames(b.payload), tx)) return true;
   }
   return false;
 }
@@ -101,19 +169,50 @@ void MultishotNode::arm_timer(Slot s) {
   timer_slots_[st->timer] = s;
 }
 
-std::vector<std::uint8_t> MultishotNode::build_payload(View view) {
+MultishotNode::BatchDraft MultishotNode::build_batch(View view) {
+  BatchDraft draft;
   serde::Writer w;
   w.varint(static_cast<std::uint64_t>(view));  // nonce: distinct across views
-  std::size_t included = 0;
-  for (const auto& tx : mempool_) {
-    if (included++ >= 16) break;
-    w.bytes(tx);
+  for (auto& e : mempool_.entries()) {
+    if (e.inflight) continue;  // already in one of my outstanding proposals
+    if (draft.entries.size() >= cfg_.max_batch_txs) break;
+    const std::size_t frame = varint_size(e.tx.size()) + e.tx.size();
+    if (!draft.entries.empty() && w.size() + frame > cfg_.max_batch_bytes) break;
+    w.bytes(e.tx);
+    draft.entries.push_back(&e);
   }
-  auto payload = w.take();
-  if (payload.size() < cfg_.default_payload_bytes) {
-    payload.resize(cfg_.default_payload_bytes, 0);
+  draft.payload = w.take();
+  if (draft.payload.size() < cfg_.default_payload_bytes) {
+    draft.payload.resize(cfg_.default_payload_bytes, 0);
   }
-  return payload;
+  return draft;
+}
+
+void MultishotNode::commit_batch(BatchDraft& draft, Slot s, std::size_t payload_bytes) {
+  for (auto* e : draft.entries) mempool_.mark_inflight(*e, s);
+  auto& metrics = ctx().metrics();
+  metrics.histogram("multishot.batch.txs").record(static_cast<double>(draft.entries.size()));
+  metrics.histogram("multishot.batch.bytes").record(static_cast<double>(payload_bytes));
+}
+
+bool MultishotNode::defer_for_batch(Slot s, SlotState& st) {
+  if (cfg_.batch_timeout <= 0 || st.batch_waited) return false;
+  if (mempool_.available() > 0) {
+    cancel_batch_timer(st);
+    return false;
+  }
+  if (st.batch_timer == 0) {
+    st.batch_timer = ctx().set_timer(cfg_.batch_timeout);
+    batch_timer_slots_[st.batch_timer] = s;
+  }
+  return true;
+}
+
+void MultishotNode::cancel_batch_timer(SlotState& st) {
+  if (st.batch_timer == 0) return;
+  ctx().cancel_timer(st.batch_timer);
+  batch_timer_slots_.erase(st.batch_timer);
+  st.batch_timer = 0;
 }
 
 std::optional<std::uint64_t> MultishotNode::parent_for_proposal(Slot s) const {
@@ -147,7 +246,11 @@ void MultishotNode::try_propose(Slot s) {
 
   Block block;
   if (st->view == 0) {
-    block = Block{s, *parent, ctx().id(), build_payload(0)};
+    if (defer_for_batch(s, *st)) return;
+    BatchDraft draft = build_batch(0);
+    const std::size_t payload_bytes = draft.payload.size();
+    block = Block{s, *parent, ctx().id(), std::move(draft.payload)};
+    commit_batch(draft, s, payload_bytes);
   } else {
     // Rule 1 over this slot's suggest messages. The leader's "initial
     // value" is the slot's already-notarized block when one exists (value
@@ -162,16 +265,25 @@ void MultishotNode::try_propose(Slot s) {
       }
     }
     std::optional<Block> preferred;
+    BatchDraft draft;
+    bool fresh = false;
     if (const auto nt = chain_.notarized(s)) {
       if (const Block* nb = chain_.find_block(s, nt->hash);
           nb != nullptr && nb->parent_hash == *parent) {
         preferred = *nb;
       }
     }
-    if (!preferred) preferred = Block{s, *parent, ctx().id(), build_payload(st->view)};
+    if (!preferred) {
+      draft = build_batch(st->view);
+      preferred = Block{s, *parent, ctx().id(), std::move(draft.payload)};
+      fresh = true;
+    }
     const auto val = core::leader_find_safe_value(qp_, st->view, preferred->value(), suggests);
     if (!val) return;
     if (val->id == preferred->hash()) {
+      // Mark the batch only when the fresh block is actually proposed; a
+      // Rule-1-forced value discards the draft at no cost.
+      if (fresh) commit_batch(draft, s, preferred->payload.size());
       block = std::move(*preferred);
     } else {
       // Rule 1 forces a previously proposed block: re-propose it.
@@ -272,16 +384,27 @@ void MultishotNode::finalize_progress() {
   chain_.try_finalize();
   const auto& ch = chain_.finalized_chain();
   if (ch.size() == before) return;
-  for (std::size_t i = before; i < ch.size(); ++i) {
-    ctx().report_decision(ch[i].slot, ch[i].value());
-    // Drop finalized transactions from the mempool.
-    for (auto it = mempool_.begin(); it != mempool_.end();) {
-      const bool included = std::search(ch[i].payload.begin(), ch[i].payload.end(), it->begin(),
-                                        it->end()) != ch[i].payload.end();
-      it = included ? mempool_.erase(it) : std::next(it);
-    }
-  }
+  for (std::size_t i = before; i < ch.size(); ++i) note_finalized(ch[i]);
   prune_slots();
+}
+
+void MultishotNode::note_finalized(const Block& b) {
+  ctx().report_decision(b.slot, b.value());
+  // Mempool reconciliation against the winning block: transactions that made
+  // it into the chain leave the pool; my inflight transactions attributed to
+  // this (or an earlier) slot whose proposal lost/aborted become available
+  // again -- the slot's outcome is now settled, so this cannot double-include.
+  const FrameIndex index(payload_frames(b.payload));
+  auto& entries = mempool_.entries();
+  for (auto it = entries.begin(); it != entries.end();) {
+    if (index.contains(it->hash, it->tx)) {
+      it = mempool_.erase(it);
+      continue;
+    }
+    if (it->inflight && it->slot <= b.slot) mempool_.release(*it);
+    ++it;
+  }
+  if (commit_hook_) commit_hook_(b, ctx().now());
 }
 
 void MultishotNode::prune_slots() {
@@ -292,6 +415,7 @@ void MultishotNode::prune_slots() {
         ctx().cancel_timer(it->second.timer);
         timer_slots_.erase(it->second.timer);
       }
+      cancel_batch_timer(it->second);
       it = slots_.erase(it);
     } else {
       ++it;
@@ -306,6 +430,9 @@ void MultishotNode::prune_slots() {
 }
 
 void MultishotNode::on_message(NodeId from, const sim::Payload& payload) {
+  // Traffic from non-members (e.g. client actors with ids >= n) is ignored:
+  // per-sender state below is sized for the n protocol participants.
+  if (from >= cfg_.n) return;
   // Decode-once fast path for broadcasts (cache attached by the encoder of
   // these exact bytes); point-to-point payloads take the total decode below.
   if (const MsMessage* cached = payload.cached<MsMessage>()) {
@@ -422,6 +549,7 @@ void MultishotNode::change_view(Slot from_slot, View new_view) {
     if (t < from_slot || !ts.started || new_view <= ts.view) continue;
     ts.view = new_view;
     ts.proposed = false;
+    cancel_batch_timer(ts);  // fresh re-proposals never wait for transactions
     arm_timer(t);
     affected.push_back(t);
   }
@@ -447,6 +575,16 @@ Slot MultishotNode::lowest_unfinalized_started() const {
 }
 
 void MultishotNode::on_timer(sim::TimerId id) {
+  if (const auto bit = batch_timer_slots_.find(id); bit != batch_timer_slots_.end()) {
+    const Slot s = bit->second;
+    batch_timer_slots_.erase(bit);
+    if (SlotState* st = slot_state(s, false); st != nullptr && st->batch_timer == id) {
+      st->batch_timer = 0;
+      st->batch_waited = true;  // give up waiting; propose (filler if need be)
+      try_propose(s);
+    }
+    return;
+  }
   const auto tit = timer_slots_.find(id);
   if (tit == timer_slots_.end()) return;
   const Slot s = tit->second;
@@ -489,7 +627,7 @@ void MultishotNode::handle(NodeId from, const MsChainInfo& m) {
       if (key.first != s || !qp_.is_blocking(senders.size())) continue;
       const Block& b = claimed_blocks_.at(key);
       if (chain_.force_finalize(b)) {
-        ctx().report_decision(b.slot, b.value());
+        note_finalized(b);
         progress = true;
         adopted_any = true;
         break;

@@ -20,7 +20,7 @@
 // to view-changes for already-finalized slots (adopted on f+1 matching
 // claims).
 
-#include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -30,6 +30,7 @@
 #include "core/rules.hpp"
 #include "core/vote_record.hpp"
 #include "multishot/chain.hpp"
+#include "multishot/mempool.hpp"
 #include "multishot/messages.hpp"
 #include "sim/runtime.hpp"
 
@@ -44,6 +45,20 @@ struct MultishotConfig {
   Slot max_slots{0};
   /// Payload bytes attached to fresh blocks when the mempool is empty.
   std::uint32_t default_payload_bytes{8};
+
+  // --- Leader batching / mempool (workload path, DESIGN_PERF.md) ---
+  /// Most transactions a fresh block carries.
+  std::uint32_t max_batch_txs{16};
+  /// Payload byte budget of a fresh block (frames + nonce; at least one
+  /// transaction is always included). Also caps admissible transaction size.
+  std::uint32_t max_batch_bytes{4096};
+  /// When > 0, a view-0 leader with an empty (available) mempool defers its
+  /// fresh proposal up to this long waiting for transactions before falling
+  /// back to a filler block. 0 = propose immediately (seed behavior).
+  sim::SimTime batch_timeout{0};
+  /// Mempool capacity and behavior at the bound.
+  std::size_t mempool_capacity{1024};
+  MempoolPolicy mempool_policy{MempoolPolicy::kRejectNew};
 
   [[nodiscard]] QuorumParams quorum_params() const { return {n, f}; }
   [[nodiscard]] sim::SimTime view_timeout() const {
@@ -64,8 +79,10 @@ class MultishotNode : public sim::ProtocolNode {
   void on_timer(sim::TimerId id) override;
 
   /// Submit a transaction; included in the next fresh block this node
-  /// proposes, removed once observed in the finalized chain.
-  void submit_tx(std::vector<std::uint8_t> tx);
+  /// proposes, removed once observed in the finalized chain. Returns false
+  /// when the bounded mempool refuses it (full under kRejectNew, or larger
+  /// than max_batch_bytes) -- the backpressure signal clients see.
+  bool submit_tx(std::vector<std::uint8_t> tx);
 
   [[nodiscard]] const ChainStore& chain() const noexcept { return chain_; }
   [[nodiscard]] const std::vector<Block>& finalized_chain() const noexcept {
@@ -87,6 +104,13 @@ class MultishotNode : public sim::ProtocolNode {
   /// True iff `tx` appears in some finalized block's payload.
   [[nodiscard]] bool tx_finalized(std::span<const std::uint8_t> tx) const;
 
+  /// Workload accounting: invoked once per newly finalized block, in slot
+  /// order, with the finalization time (src/workload/tracker.hpp).
+  using CommitHook = std::function<void(const Block&, sim::SimTime)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+  [[nodiscard]] const BoundedMempool& mempool() const noexcept { return mempool_; }
+
  protected:
   // Byzantine subclasses override.
   virtual void do_propose(Slot s, View v, const Block& block);
@@ -105,6 +129,8 @@ class MultishotNode : public sim::ProtocolNode {
     bool started{false};
     View view{0};
     sim::TimerId timer{0};
+    sim::TimerId batch_timer{0};  // armed while a fresh proposal waits for txs
+    bool batch_waited{false};     // the batch timeout for this slot expired
     View highest_vc_sent{kNoView};
     std::vector<View> vc_highest;                    // per sender
     std::map<View, std::uint64_t> proposal_by_view;  // leader's block hash
@@ -136,7 +162,23 @@ class MultishotNode : public sim::ProtocolNode {
   void change_view(Slot from_slot, View new_view);
   [[nodiscard]] Slot lowest_unfinalized_started() const;
   [[nodiscard]] std::optional<std::uint64_t> parent_for_proposal(Slot s) const;
-  [[nodiscard]] std::vector<std::uint8_t> build_payload(View view);
+
+  /// A fresh block's payload plus the mempool entries batched into it; the
+  /// entries are marked inflight only once the block is actually used
+  /// (commit_batch), so a discarded candidate costs nothing.
+  struct BatchDraft {
+    std::vector<std::uint8_t> payload;
+    std::vector<BoundedMempool::Entry*> entries;
+  };
+  [[nodiscard]] BatchDraft build_batch(View view);
+  void commit_batch(BatchDraft& draft, Slot s, std::size_t payload_bytes);
+  /// True when a view-0 fresh proposal for `s` should wait for transactions
+  /// (batch_timeout armed / not yet expired). Arms the batch timer.
+  bool defer_for_batch(Slot s, SlotState& st);
+  void cancel_batch_timer(SlotState& st);
+  /// Mempool/commit bookkeeping for every finalized block regardless of the
+  /// path (finalization rule or ChainInfo adoption).
+  void note_finalized(const Block& b);
   void prune_slots();
 
   MultishotConfig cfg_;
@@ -144,7 +186,9 @@ class MultishotNode : public sim::ProtocolNode {
   ChainStore chain_;
   std::map<Slot, SlotState> slots_;
   std::map<sim::TimerId, Slot> timer_slots_;
-  std::deque<std::vector<std::uint8_t>> mempool_;
+  std::map<sim::TimerId, Slot> batch_timer_slots_;
+  BoundedMempool mempool_;
+  CommitHook commit_hook_;
 
   // ChainInfo adoption claims: (slot, hash) -> claiming senders.
   std::map<std::pair<Slot, std::uint64_t>, std::set<NodeId>> chain_claims_;

@@ -58,6 +58,7 @@ Simulation::~Simulation() = default;
 
 NodeId Simulation::add_node(std::unique_ptr<ProtocolNode> node) {
   TBFT_ASSERT_MSG(!started_, "cannot add nodes after start()");
+  TBFT_ASSERT_MSG(clients_.empty(), "add every protocol node before the first client");
   const auto id = static_cast<NodeId>(nodes_.size());
   contexts_.push_back(std::make_unique<Context>(*this, id, rng_.fork()));
   node->bind(*contexts_.back());
@@ -65,10 +66,25 @@ NodeId Simulation::add_node(std::unique_ptr<ProtocolNode> node) {
   return id;
 }
 
+NodeId Simulation::add_client(std::unique_ptr<ProtocolNode> client) {
+  TBFT_ASSERT_MSG(!started_, "cannot add clients after start()");
+  const auto id = static_cast<NodeId>(nodes_.size() + clients_.size());
+  contexts_.push_back(std::make_unique<Context>(*this, id, rng_.fork()));
+  client->bind(*contexts_.back());
+  clients_.push_back(std::move(client));
+  return id;
+}
+
+ProtocolNode& Simulation::actor(NodeId id) {
+  if (id < nodes_.size()) return *nodes_[id];
+  return *clients_.at(id - nodes_.size());
+}
+
 void Simulation::start() {
   TBFT_ASSERT_MSG(!started_, "start() called twice");
   started_ = true;
   for (auto& node : nodes_) node->on_start();
+  for (auto& client : clients_) client->on_start();
 }
 
 TimerId Simulation::arm_timer(NodeId node, SimTime delay) {
@@ -106,11 +122,11 @@ void Simulation::on_timer_event(NodeId node, TimerId id) {
   ts.armed = false;
   ++ts.generation;
   free_timer_slots_.push_back(slot);
-  nodes_[node]->on_timer(id);
+  actor(node).on_timer(id);
 }
 
 void Simulation::dispatch_send(NodeId src, NodeId dst, Payload payload) {
-  TBFT_ASSERT(dst < nodes_.size());
+  TBFT_ASSERT(dst < nodes_.size() + clients_.size());
   const SimTime sent_at = queue_.now();
 
   if (src == dst) {
@@ -134,7 +150,7 @@ void Simulation::dispatch_send(NodeId src, NodeId dst, Payload payload) {
 }
 
 void Simulation::on_deliver_event(NodeId src, NodeId dst, const Payload& payload) {
-  nodes_[dst]->on_message(src, payload);
+  actor(dst).on_message(src, payload);
 }
 
 void Simulation::run_until(SimTime deadline) { queue_.run_until(deadline); }

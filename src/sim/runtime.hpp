@@ -105,6 +105,13 @@ class Simulation final : public EventSink {
   /// Nodes must be added before start() in NodeId order (id = index).
   NodeId add_node(std::unique_ptr<ProtocolNode> node);
 
+  /// Client actors (workload generators, observers): simulation participants
+  /// outside the protocol membership. They share the context machinery --
+  /// timers, deterministic per-actor RNG, sends -- but are not broadcast
+  /// recipients and do not count toward n(). Their ids continue after the
+  /// protocol nodes, so add every protocol node first.
+  NodeId add_client(std::unique_ptr<ProtocolNode> client);
+
   /// Calls on_start on every node (at time 0 unless the clock advanced).
   void start();
 
@@ -118,6 +125,9 @@ class Simulation final : public EventSink {
   [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
   [[nodiscard]] std::uint32_t node_count() const noexcept {
     return static_cast<std::uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] std::uint32_t client_count() const noexcept {
+    return static_cast<std::uint32_t>(clients_.size());
   }
 
   [[nodiscard]] Network& network() noexcept { return network_; }
@@ -158,6 +168,8 @@ class Simulation final : public EventSink {
   void dispatch_send(NodeId src, NodeId dst, Payload payload);
   TimerId arm_timer(NodeId node, SimTime delay);
   void disarm_timer(TimerId id);
+  /// Resolve a protocol node (id < node_count) or client actor (id beyond).
+  [[nodiscard]] ProtocolNode& actor(NodeId id);
 
   static constexpr TimerId make_timer_id(std::uint32_t slot, std::uint32_t gen) noexcept {
     return (static_cast<TimerId>(gen) << 32) | (slot + 1);
@@ -176,6 +188,7 @@ class Simulation final : public EventSink {
   MetricsRegistry metrics_;
   Rng rng_;
   std::vector<std::unique_ptr<ProtocolNode>> nodes_;
+  std::vector<std::unique_ptr<ProtocolNode>> clients_;
   std::vector<std::unique_ptr<Context>> contexts_;
   std::vector<TimerSlot> timer_slots_;
   std::vector<std::uint32_t> free_timer_slots_;

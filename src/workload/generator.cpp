@@ -1,0 +1,102 @@
+#include "workload/generator.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "workload/request.hpp"
+
+namespace tbft::workload {
+
+LoadClient::LoadClient(ClientConfig cfg, std::vector<multishot::MultishotNode*> targets,
+                       WorkloadTracker& tracker)
+    : cfg_(cfg), tracker_(tracker), targets_(std::move(targets)) {
+  TBFT_ASSERT_MSG(!targets_.empty(), "a load client needs at least one target node");
+}
+
+bool LoadClient::submit_one() {
+  multishot::MultishotNode* target = targets_[next_target_];
+  next_target_ = (next_target_ + 1) % targets_.size();
+  const std::uint32_t seq = seq_++;
+  const std::uint64_t tag = request_tag(cfg_.client_id, seq);
+  const bool admitted =
+      target->submit_tx(encode_request(cfg_.client_id, seq, cfg_.request_bytes));
+  tracker_.on_submitted(tag, ctx().now(), admitted);
+  return admitted;
+}
+
+// ---- Open loop -------------------------------------------------------------
+
+OpenLoopClient::OpenLoopClient(OpenLoopConfig cfg,
+                               std::vector<multishot::MultishotNode*> targets,
+                               WorkloadTracker& tracker)
+    : LoadClient(cfg.base, std::move(targets), tracker), ol_(cfg) {
+  TBFT_ASSERT(ol_.rate_per_sec > 0);
+}
+
+double OpenLoopClient::current_rate() const {
+  double rate = ol_.rate_per_sec;
+  if (ol_.burst_period > 0 && ol_.burst_multiplier != 1.0) {
+    const auto phase = static_cast<double>(ctx().now() % ol_.burst_period) /
+                       static_cast<double>(ol_.burst_period);
+    if (phase < ol_.burst_duty) rate *= ol_.burst_multiplier;
+  }
+  return rate;
+}
+
+sim::SimTime OpenLoopClient::interarrival() {
+  const double mean_us = static_cast<double>(sim::kSecond) / current_rate();
+  double gap = mean_us;
+  if (ol_.poisson) {
+    // Exponential interarrival; 1 - u avoids log(0).
+    gap = -std::log(1.0 - ctx().rng().uniform01()) * mean_us;
+  }
+  return std::max<sim::SimTime>(1, static_cast<sim::SimTime>(std::llround(gap)));
+}
+
+void OpenLoopClient::on_start() {
+  const sim::SimTime lead = std::max<sim::SimTime>(0, cfg_.start - ctx().now());
+  ctx().set_timer(lead + interarrival());
+}
+
+void OpenLoopClient::on_timer(sim::TimerId) {
+  if (ctx().now() >= cfg_.stop) return;  // window closed; generator done
+  submit_one();
+  ctx().set_timer(interarrival());
+}
+
+// ---- Closed loop -----------------------------------------------------------
+
+ClosedLoopClient::ClosedLoopClient(ClosedLoopConfig cfg,
+                                   std::vector<multishot::MultishotNode*> targets,
+                                   WorkloadTracker& tracker)
+    : LoadClient(cfg.base, std::move(targets), tracker), cl_(cfg) {
+  TBFT_ASSERT(cl_.outstanding > 0);
+}
+
+void ClosedLoopClient::on_start() {
+  tracker_.set_completion_listener(client_id(), [this](std::uint64_t) {
+    // A commit funds the replacement request. Submission is deferred to a
+    // zero-delay timer so it runs as its own event, outside the finalizing
+    // node's call stack.
+    if (ctx().now() >= cfg_.stop) return;
+    ++pending_;
+    ctx().set_timer(0);
+  });
+  pending_ = cl_.outstanding;
+  ctx().set_timer(std::max<sim::SimTime>(0, cfg_.start - ctx().now()));
+}
+
+void ClosedLoopClient::on_timer(sim::TimerId) {
+  if (ctx().now() >= cfg_.stop) return;
+  while (pending_ > 0) {
+    if (!submit_one()) {
+      // Mempool backpressure: keep the slot and retry after a backoff.
+      ctx().set_timer(cl_.retry_delay);
+      return;
+    }
+    --pending_;
+  }
+}
+
+}  // namespace tbft::workload

@@ -1,0 +1,112 @@
+#pragma once
+// Load generators: client actors (sim::Simulation::add_client) that submit
+// uniquely tagged requests to node mempools over a configurable window.
+//
+//  - OpenLoopClient: arrivals at a fixed rate, Poisson (exponential
+//    interarrival) or constant spacing, optionally modulated into bursts.
+//    Arrivals never wait for completions -- overload shows up as mempool
+//    backpressure (rejected submissions), not reduced offered load.
+//  - ClosedLoopClient: keeps exactly k requests outstanding; each commit
+//    (learned through the tracker's completion listener) immediately funds
+//    the next submission. Offered load adapts to system speed.
+//
+// All randomness comes from the actor's deterministic per-node RNG, so a
+// loaded run stays a pure function of seed + config.
+
+#include <cstdint>
+#include <vector>
+
+#include "multishot/node.hpp"
+#include "sim/runtime.hpp"
+#include "workload/tracker.hpp"
+
+namespace tbft::workload {
+
+struct ClientConfig {
+  /// Tag namespace; unique per generator within a run.
+  std::uint32_t client_id{0};
+  /// Encoded request size (>= kRequestHeaderBytes).
+  std::uint32_t request_bytes{64};
+  /// Submission window [start, stop): no submissions at or after `stop`.
+  sim::SimTime start{0};
+  sim::SimTime stop{1 * sim::kSecond};
+};
+
+struct OpenLoopConfig {
+  ClientConfig base;
+  double rate_per_sec{1000.0};
+  bool poisson{true};
+  /// Burst modulation: while burst_period > 0 and the phase within each
+  /// period is below `burst_duty`, the rate is multiplied by
+  /// `burst_multiplier` (1.0 = no modulation).
+  sim::SimTime burst_period{0};
+  double burst_duty{0.5};
+  double burst_multiplier{1.0};
+};
+
+struct ClosedLoopConfig {
+  ClientConfig base;
+  /// Requests kept outstanding (the closed loop's k).
+  std::uint32_t outstanding{4};
+  /// Backoff before retrying a submission the mempool rejected.
+  sim::SimTime retry_delay{1 * sim::kMillisecond};
+};
+
+/// Shared submission plumbing: request encoding, round-robin target
+/// selection, tracker accounting.
+class LoadClient : public sim::ProtocolNode {
+ public:
+  LoadClient(ClientConfig cfg, std::vector<multishot::MultishotNode*> targets,
+             WorkloadTracker& tracker);
+
+  void on_message(NodeId, const sim::Payload&) override {}
+
+  [[nodiscard]] std::uint32_t client_id() const noexcept { return cfg_.client_id; }
+  [[nodiscard]] std::uint32_t submissions() const noexcept { return seq_; }
+
+ protected:
+  /// Submit one request to the next target; returns admission.
+  bool submit_one();
+  [[nodiscard]] bool window_open() const {
+    return ctx().now() >= cfg_.start && ctx().now() < cfg_.stop;
+  }
+
+  ClientConfig cfg_;
+  WorkloadTracker& tracker_;
+
+ private:
+  std::vector<multishot::MultishotNode*> targets_;
+  std::uint32_t seq_{0};
+  std::size_t next_target_{0};
+};
+
+class OpenLoopClient final : public LoadClient {
+ public:
+  OpenLoopClient(OpenLoopConfig cfg, std::vector<multishot::MultishotNode*> targets,
+                 WorkloadTracker& tracker);
+
+  void on_start() override;
+  void on_timer(sim::TimerId) override;
+
+ private:
+  [[nodiscard]] sim::SimTime interarrival();
+  [[nodiscard]] double current_rate() const;
+
+  OpenLoopConfig ol_;
+};
+
+class ClosedLoopClient final : public LoadClient {
+ public:
+  ClosedLoopClient(ClosedLoopConfig cfg, std::vector<multishot::MultishotNode*> targets,
+                   WorkloadTracker& tracker);
+
+  void on_start() override;
+  void on_timer(sim::TimerId) override;
+
+ private:
+  ClosedLoopConfig cl_;
+  /// Submissions owed (initial k, commits to replace, rejected retries).
+  std::uint32_t pending_{0};
+};
+
+}  // namespace tbft::workload

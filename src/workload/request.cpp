@@ -1,0 +1,43 @@
+#include "workload/request.hpp"
+
+#include "common/rng.hpp"
+#include "multishot/block.hpp"
+
+namespace tbft::workload {
+
+std::vector<std::uint8_t> encode_request(std::uint32_t client, std::uint32_t seq,
+                                         std::size_t total_bytes) {
+  if (total_bytes < kRequestHeaderBytes) total_bytes = kRequestHeaderBytes;
+  std::vector<std::uint8_t> out;
+  out.reserve(total_bytes);
+  out.push_back(kRequestMagic);
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(client >> (8 * i)));
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(seq >> (8 * i)));
+  // Deterministic filler: a function of the tag only, so identical seeds
+  // yield byte-identical payloads (and traces) across runs.
+  std::uint64_t fill = mix64(request_tag(client, seq));
+  while (out.size() < total_bytes) {
+    fill = mix64(fill);
+    out.push_back(static_cast<std::uint8_t>(fill));
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_request_tag(std::span<const std::uint8_t> tx) {
+  if (tx.size() < kRequestHeaderBytes || tx[0] != kRequestMagic) return std::nullopt;
+  std::uint32_t client = 0;
+  std::uint32_t seq = 0;
+  for (int i = 0; i < 4; ++i) client |= static_cast<std::uint32_t>(tx[1 + i]) << (8 * i);
+  for (int i = 0; i < 4; ++i) seq |= static_cast<std::uint32_t>(tx[5 + i]) << (8 * i);
+  return request_tag(client, seq);
+}
+
+std::vector<std::uint64_t> extract_request_tags(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint64_t> tags;
+  for (const auto& frame : multishot::payload_frames(payload)) {
+    if (const auto tag = parse_request_tag(frame)) tags.push_back(*tag);
+  }
+  return tags;
+}
+
+}  // namespace tbft::workload

@@ -1,0 +1,49 @@
+#pragma once
+// Client requests of the workload engine: uniquely tagged transactions that
+// can be recognized again inside finalized block payloads, so every request
+// is tracked from submission to commit (submit -> mempool -> batch ->
+// finalize) and accounted exactly once.
+//
+// Wire shape of one request (one mempool transaction):
+//   magic (1B) | client id (u32 LE) | sequence number (u32 LE) | filler
+// The (client, seq) pair is the request's 64-bit tag; the filler pads the
+// request to a configurable size with bytes derived deterministically from
+// the tag, so payload content -- and therefore block hashes and traces --
+// is a pure function of the run's seed and schedule.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace tbft::workload {
+
+inline constexpr std::uint8_t kRequestMagic = 0xC7;
+/// magic + client + seq.
+inline constexpr std::size_t kRequestHeaderBytes = 9;
+
+[[nodiscard]] constexpr std::uint64_t request_tag(std::uint32_t client,
+                                                  std::uint32_t seq) noexcept {
+  return (static_cast<std::uint64_t>(client) << 32) | seq;
+}
+[[nodiscard]] constexpr std::uint32_t tag_client(std::uint64_t tag) noexcept {
+  return static_cast<std::uint32_t>(tag >> 32);
+}
+[[nodiscard]] constexpr std::uint32_t tag_seq(std::uint64_t tag) noexcept {
+  return static_cast<std::uint32_t>(tag);
+}
+
+/// Encode a request of `total_bytes` (clamped up to the header size).
+[[nodiscard]] std::vector<std::uint8_t> encode_request(std::uint32_t client, std::uint32_t seq,
+                                                       std::size_t total_bytes);
+
+/// The tag of a single transaction, if it is a well-formed request.
+[[nodiscard]] std::optional<std::uint64_t> parse_request_tag(
+    std::span<const std::uint8_t> tx);
+
+/// Tags of every request in a block payload, in inclusion order (non-request
+/// transactions and filler are skipped).
+[[nodiscard]] std::vector<std::uint64_t> extract_request_tags(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace tbft::workload

@@ -1,0 +1,174 @@
+#include "workload/scenarios.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "sim/adversary.hpp"
+
+namespace tbft::workload {
+
+const char* preset_name(Preset p) {
+  switch (p) {
+    case Preset::kSteadyState: return "steady-state";
+    case Preset::kBurst: return "burst";
+    case Preset::kPartitionDuringLoad: return "partition-during-load";
+    case Preset::kLeaderCrashUnderLoad: return "leader-crash-under-load";
+    case Preset::kJunkFloodUnderLoad: return "junk-flood-under-load";
+  }
+  return "?";
+}
+
+bool WorkloadRig::chains_consistent() const {
+  const multishot::MultishotNode* longest = nullptr;
+  for (const auto* node : nodes) {
+    if (node == nullptr) continue;
+    if (longest == nullptr ||
+        node->finalized_chain().size() > longest->finalized_chain().size()) {
+      longest = node;
+    }
+  }
+  if (longest == nullptr) return true;
+  const auto& ref = longest->finalized_chain();
+  for (const auto* node : nodes) {
+    if (node == nullptr) continue;
+    const auto& ch = node->finalized_chain();
+    for (std::size_t i = 0; i < ch.size(); ++i) {
+      if (!(ch[i] == ref[i])) return false;
+    }
+  }
+  return true;
+}
+
+WorkloadRig make_rig(const ScenarioOptions& opts) {
+  WorkloadRig rig;
+
+  sim::SimConfig sc;
+  sc.seed = opts.seed;
+  sc.net.delta_bound = opts.delta_bound;
+  sc.net.delta_actual = opts.delta_actual;
+  sc.net.delta_min = opts.delta_actual;
+  if (opts.preset == Preset::kPartitionDuringLoad) {
+    // The partition is the only pre-GST misbehavior: same-side traffic flows
+    // at delta_actual so the scenario isolates the quorum loss itself.
+    rig.gst = opts.load_duration / 2;
+  } else if (opts.gst > 0) {
+    rig.gst = opts.gst;
+  }
+  if (rig.gst > 0) {
+    sc.net.gst = rig.gst;
+    sc.net.pre_gst_drop_prob = 0.0;
+    sc.net.pre_gst_delay_min = opts.delta_actual;
+    sc.net.pre_gst_delay_max = opts.delta_actual;
+  }
+  rig.sim = std::make_unique<sim::Simulation>(sc);
+
+  if (opts.preset == Preset::kPartitionDuringLoad) {
+    std::vector<NodeId> group_a;
+    for (NodeId i = 0; i < opts.n / 2; ++i) group_a.push_back(i);
+    rig.sim->network().set_adversary(sim::make_partition_until_gst(group_a, rig.gst));
+  }
+
+  rig.node_cfg.n = opts.n;
+  rig.node_cfg.f = opts.f;
+  rig.node_cfg.delta_bound = opts.delta_bound;
+  rig.node_cfg.max_slots = 0;  // chains grow as long as the load needs
+  rig.node_cfg.max_batch_txs = opts.max_batch_txs;
+  rig.node_cfg.max_batch_bytes = opts.max_batch_bytes;
+  rig.node_cfg.batch_timeout = opts.batch_timeout;
+  rig.node_cfg.mempool_capacity = opts.mempool_capacity;
+  rig.node_cfg.mempool_policy = opts.mempool_policy;
+
+  for (NodeId i = 0; i < opts.n; ++i) {
+    const bool crashed = opts.preset == Preset::kLeaderCrashUnderLoad && i == 0;
+    const bool junk = opts.preset == Preset::kJunkFloodUnderLoad && i == opts.n - 1;
+    if (crashed) {
+      rig.nodes.push_back(nullptr);
+      rig.sim->add_node(std::make_unique<sim::SilentNode>());
+    } else if (junk) {
+      rig.nodes.push_back(nullptr);
+      rig.sim->add_node(std::make_unique<sim::RandomJunkNode>(opts.delta_actual));
+    } else {
+      auto node = std::make_unique<multishot::MultishotNode>(rig.node_cfg);
+      rig.nodes.push_back(node.get());
+      rig.sim->add_node(std::move(node));
+    }
+  }
+
+  rig.tracker = std::make_unique<WorkloadTracker>(rig.sim->metrics());
+  std::vector<multishot::MultishotNode*> honest;
+  for (auto* node : rig.nodes) {
+    if (node != nullptr) {
+      rig.tracker->observe(*node);
+      honest.push_back(node);
+    }
+  }
+  TBFT_ASSERT_MSG(!honest.empty(), "a workload scenario needs at least one honest node");
+
+  for (std::uint32_t c = 0; c < opts.clients; ++c) {
+    ClientConfig base;
+    base.client_id = c;
+    base.request_bytes = opts.request_bytes;
+    base.start = 0;
+    base.stop = opts.load_duration;
+    // Stagger round-robin start points so clients spread across nodes.
+    std::vector<multishot::MultishotNode*> targets;
+    for (std::size_t i = 0; i < honest.size(); ++i) {
+      targets.push_back(honest[(c + i) % honest.size()]);
+    }
+    if (opts.closed_loop) {
+      ClosedLoopConfig cl;
+      cl.base = base;
+      cl.outstanding = opts.outstanding;
+      rig.sim->add_client(std::make_unique<ClosedLoopClient>(cl, targets, *rig.tracker));
+    } else {
+      OpenLoopConfig ol;
+      ol.base = base;
+      ol.rate_per_sec = opts.rate_per_sec;
+      if (opts.preset == Preset::kBurst) {
+        ol.burst_period = opts.load_duration / 4;
+        ol.burst_duty = 0.25;
+        ol.burst_multiplier = 4.0;
+      }
+      rig.sim->add_client(std::make_unique<OpenLoopClient>(ol, targets, *rig.tracker));
+    }
+  }
+  return rig;
+}
+
+ScenarioResult run_scenario(const ScenarioOptions& opts) {
+  WorkloadRig rig = make_rig(opts);
+  rig.sim->start();
+
+  // Load window plus drain: done once the window closed and every admitted
+  // request committed (the admitted > 0 guard keeps the predicate from
+  // tripping before the first submission). Under kDropOldest some admitted
+  // requests are evicted and can never commit, so empty mempools -- every
+  // admitted request finalized or dropped, no batch still in flight -- end
+  // the run too.
+  const auto pools_empty = [&] {
+    for (const auto* node : rig.nodes) {
+      if (node != nullptr && node->mempool().size() != 0) return false;
+    }
+    return true;
+  };
+  const auto drained = [&] {
+    return rig.sim->now() >= opts.load_duration && rig.tracker->admitted() > 0 &&
+           (rig.tracker->all_admitted_committed() || pools_empty());
+  };
+  rig.sim->run_until_pred(drained, opts.drain_deadline);
+
+  ScenarioResult res;
+  res.elapsed = rig.sim->now();
+  // Let in-flight traffic settle so lagging replicas converge before the
+  // consistency check (commits are already in).
+  rig.sim->run_until(rig.sim->now() + 2 * opts.delta_bound);
+
+  res.report = rig.tracker->report(res.elapsed);
+  res.trace_digest = rig.sim->trace().digest();
+  res.all_admitted_committed =
+      rig.tracker->admitted() > 0 && rig.tracker->all_admitted_committed();
+  res.chains_consistent = rig.chains_consistent();
+  return res;
+}
+
+}  // namespace tbft::workload

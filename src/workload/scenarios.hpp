@@ -1,0 +1,94 @@
+#pragma once
+// Scenario presets: generators composed with the existing fault/adversary
+// hooks into fully wired, deterministic load runs.
+//
+//  - kSteadyState:          constant-rate (or closed-loop) load, no faults;
+//  - kBurst:                open-loop load with periodic rate bursts;
+//  - kPartitionDuringLoad:  no quorum until GST (partition adversary) while
+//                           clients keep submitting; everything admitted
+//                           must commit after healing;
+//  - kLeaderCrashUnderLoad: node 0 is crashed (silent) throughout -- every
+//                           slot it leads needs a view change under load;
+//  - kJunkFloodUnderLoad:   node n-1 broadcasts malformed garbage instead of
+//                           participating (counts toward f).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "multishot/node.hpp"
+#include "sim/runtime.hpp"
+#include "workload/generator.hpp"
+#include "workload/tracker.hpp"
+
+namespace tbft::workload {
+
+enum class Preset : std::uint8_t {
+  kSteadyState,
+  kBurst,
+  kPartitionDuringLoad,
+  kLeaderCrashUnderLoad,
+  kJunkFloodUnderLoad,
+};
+
+[[nodiscard]] const char* preset_name(Preset p);
+
+struct ScenarioOptions {
+  Preset preset{Preset::kSteadyState};
+  std::uint32_t n{4};
+  std::uint32_t f{1};
+  std::uint64_t seed{1};
+  /// Generators submit during [0, load_duration).
+  sim::SimTime load_duration{500 * sim::kMillisecond};
+  /// Absolute cap on the run while draining outstanding requests.
+  sim::SimTime drain_deadline{120 * sim::kSecond};
+  bool closed_loop{false};
+  std::uint32_t clients{2};
+  double rate_per_sec{2000.0};   // per open-loop client
+  std::uint32_t outstanding{8};  // per closed-loop client
+  std::uint32_t request_bytes{64};
+  // Node-side batching/mempool knobs (MultishotConfig passthrough).
+  std::uint32_t max_batch_txs{64};
+  std::uint32_t max_batch_bytes{8192};
+  sim::SimTime batch_timeout{0};
+  std::size_t mempool_capacity{4096};
+  multishot::MempoolPolicy mempool_policy{multishot::MempoolPolicy::kRejectNew};
+  sim::SimTime delta_bound{10 * sim::kMillisecond};
+  sim::SimTime delta_actual{1 * sim::kMillisecond};
+  /// Optional explicit GST with benign pre-GST stochastics (no random drops,
+  /// delta_actual delays): gives tests a window to attach their own pre-GST
+  /// adversary hook to an otherwise well-behaved network. The partition
+  /// preset manages its own GST and ignores this.
+  sim::SimTime gst{0};
+};
+
+/// A wired run for tests that drive the simulation themselves. Actor
+/// pointers are owned by `sim`.
+struct WorkloadRig {
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<WorkloadTracker> tracker;
+  std::vector<multishot::MultishotNode*> nodes;  // nullptr for crashed/junk
+  multishot::MultishotConfig node_cfg;
+  sim::SimTime gst{0};
+
+  /// Definition 2 (Consistency) over every observed pair of finalized chains.
+  [[nodiscard]] bool chains_consistent() const;
+};
+
+/// Build the preset's simulation, nodes, tracker and generators (not yet
+/// started).
+[[nodiscard]] WorkloadRig make_rig(const ScenarioOptions& opts);
+
+struct ScenarioResult {
+  WorkloadReport report;
+  std::uint64_t trace_digest{0};
+  sim::SimTime elapsed{0};
+  bool all_admitted_committed{false};
+  bool chains_consistent{false};
+};
+
+/// Run the preset end to end: load window, then drain until every admitted
+/// request commits (or drain_deadline).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioOptions& opts);
+
+}  // namespace tbft::workload

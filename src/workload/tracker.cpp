@@ -1,0 +1,98 @@
+#include "workload/tracker.hpp"
+
+#include <cstdio>
+
+#include "workload/request.hpp"
+
+namespace tbft::workload {
+
+void WorkloadReport::print(const char* title) const {
+  std::printf("%-28s %8llu sub %8llu adm %8llu rej %8llu com  %9.0f tx/s\n", title,
+              static_cast<unsigned long long>(submitted),
+              static_cast<unsigned long long>(admitted),
+              static_cast<unsigned long long>(rejected),
+              static_cast<unsigned long long>(committed), committed_tx_per_sec);
+  std::printf("%-28s latency ms p50=%.2f p95=%.2f p99=%.2f max=%.2f  batch=%.1f/%.0f "
+              "pool=%.0f/%.0f%s%s\n",
+              "", latency_p50_ms, latency_p95_ms, latency_p99_ms, latency_max_ms,
+              batch_txs_mean, batch_txs_max, mempool_depth_mean, mempool_depth_max,
+              duplicates != 0 ? "  DUPLICATES" : "", foreign != 0 ? "  FOREIGN" : "");
+}
+
+void WorkloadTracker::observe(multishot::MultishotNode& node) {
+  const std::size_t observer = observers_++;
+  seen_.emplace_back();
+  node.set_commit_hook([this, observer](const multishot::Block& b, sim::SimTime at) {
+    on_finalized(observer, b, at);
+  });
+}
+
+void WorkloadTracker::on_submitted(std::uint64_t tag, sim::SimTime at, bool admitted) {
+  ++submitted_;
+  metrics_.counter("workload.submitted").add();
+  if (!admitted) {
+    ++rejected_;
+    metrics_.counter("workload.rejected").add();
+    return;
+  }
+  ++admitted_;
+  metrics_.counter("workload.admitted").add();
+  submit_time_.emplace(tag, at);
+}
+
+void WorkloadTracker::on_finalized(std::size_t observer, const multishot::Block& b,
+                                   sim::SimTime at) {
+  for (const std::uint64_t tag : extract_request_tags(b.payload)) {
+    if (!seen_[observer].insert(tag).second) {
+      ++duplicates_;
+      metrics_.counter("workload.duplicates").add();
+      continue;
+    }
+    const auto sit = submit_time_.find(tag);
+    if (sit == submit_time_.end()) {
+      ++foreign_;
+      metrics_.counter("workload.foreign").add();
+      continue;
+    }
+    const auto [cit, first] = commit_time_.emplace(tag, at);
+    if (!first) continue;  // an earlier observer already committed it
+    ++committed_;
+    metrics_.counter("workload.committed").add();
+    metrics_.histogram("workload.commit_latency_ms")
+        .record(static_cast<double>(at - sit->second) / sim::kMillisecond);
+    if (const auto lit = listeners_.find(tag_client(tag)); lit != listeners_.end()) {
+      lit->second(tag);
+    }
+  }
+}
+
+WorkloadReport WorkloadTracker::report(sim::SimTime elapsed) const {
+  WorkloadReport r;
+  r.submitted = submitted_;
+  r.admitted = admitted_;
+  r.rejected = rejected_;
+  r.committed = committed_;
+  r.duplicates = duplicates_;
+  r.foreign = foreign_;
+  if (elapsed > 0) {
+    r.committed_tx_per_sec =
+        static_cast<double>(committed_) * sim::kSecond / static_cast<double>(elapsed);
+  }
+  const Histogram& lat = metrics_.histogram("workload.commit_latency_ms");
+  r.latency_mean_ms = lat.mean();
+  r.latency_p50_ms = lat.percentile(50);
+  r.latency_p95_ms = lat.percentile(95);
+  r.latency_p99_ms = lat.percentile(99);
+  r.latency_max_ms = lat.max();
+  const Histogram& batch = metrics_.histogram("multishot.batch.txs");
+  r.batch_txs_mean = batch.mean();
+  r.batch_txs_max = batch.max();
+  const Histogram& depth = metrics_.histogram("multishot.mempool.depth");
+  r.mempool_depth_mean = depth.mean();
+  r.mempool_depth_max = depth.max();
+  r.mempool_rejected = metrics_.counter("multishot.mempool.rejected").value();
+  r.mempool_dropped_oldest = metrics_.counter("multishot.mempool.dropped_oldest").value();
+  return r;
+}
+
+}  // namespace tbft::workload

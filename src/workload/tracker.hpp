@@ -1,0 +1,111 @@
+#pragma once
+// End-to-end commit accounting for the workload engine: every request is
+// tracked from submission (generator -> node mempool) through commit (the
+// block carrying it finalizes at an observed node), feeding the run's
+// MetricsRegistry and a WorkloadReport summary.
+//
+// Accounting rules:
+//  - a request "commits" the first time any observed node finalizes a block
+//    containing it; its latency is commit time minus submit time;
+//  - per observer, a tag appearing twice in the finalized chain is a
+//    double-commit (duplicates); a tag never submitted is foreign -- both
+//    break the exactly-once contract bench_workload enforces by exit code;
+//  - closed-loop generators learn about completions through per-client
+//    listeners, called once per committed request of that client.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "multishot/node.hpp"
+#include "sim/time.hpp"
+
+namespace tbft::workload {
+
+/// Flat summary of one loaded run. Deterministic for a fixed seed/config
+/// (compared wholesale in the determinism regression).
+struct WorkloadReport {
+  std::uint64_t submitted{0};
+  std::uint64_t admitted{0};
+  std::uint64_t rejected{0};
+  std::uint64_t committed{0};
+  std::uint64_t duplicates{0};  // double-commits seen by any observer
+  std::uint64_t foreign{0};     // committed tags never submitted
+  double committed_tx_per_sec{0};
+  double latency_mean_ms{0};
+  double latency_p50_ms{0};
+  double latency_p95_ms{0};
+  double latency_p99_ms{0};
+  double latency_max_ms{0};
+  double batch_txs_mean{0};
+  double batch_txs_max{0};
+  double mempool_depth_mean{0};
+  double mempool_depth_max{0};
+  std::uint64_t mempool_rejected{0};
+  std::uint64_t mempool_dropped_oldest{0};
+
+  [[nodiscard]] std::uint64_t outstanding() const noexcept { return admitted - committed; }
+  [[nodiscard]] bool exactly_once() const noexcept { return duplicates == 0 && foreign == 0; }
+
+  friend bool operator==(const WorkloadReport&, const WorkloadReport&) = default;
+
+  void print(const char* title) const;
+};
+
+class WorkloadTracker {
+ public:
+  explicit WorkloadTracker(MetricsRegistry& metrics) : metrics_(metrics) {}
+
+  /// Install this tracker as `node`'s commit hook. Observe every honest node
+  /// so per-chain double-commits are caught wherever they surface.
+  void observe(multishot::MultishotNode& node);
+
+  /// Generators report every submission attempt here.
+  void on_submitted(std::uint64_t tag, sim::SimTime at, bool admitted);
+
+  /// `listener(tag)` fires once per committed request of `client`
+  /// (closed-loop replenishment).
+  void set_completion_listener(std::uint32_t client,
+                               std::function<void(std::uint64_t)> listener) {
+    listeners_[client] = std::move(listener);
+  }
+
+  [[nodiscard]] std::uint64_t submitted() const noexcept { return submitted_; }
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] std::uint64_t committed() const noexcept { return committed_; }
+  [[nodiscard]] std::uint64_t duplicates() const noexcept { return duplicates_; }
+  [[nodiscard]] std::uint64_t foreign() const noexcept { return foreign_; }
+  [[nodiscard]] std::uint64_t outstanding() const noexcept { return admitted_ - committed_; }
+  [[nodiscard]] bool all_admitted_committed() const noexcept {
+    return committed_ == admitted_;
+  }
+  [[nodiscard]] bool exactly_once() const noexcept {
+    return duplicates_ == 0 && foreign_ == 0;
+  }
+
+  /// Summarize the run; `elapsed` is the wall (simulated) time the
+  /// throughput figure is normalized by.
+  [[nodiscard]] WorkloadReport report(sim::SimTime elapsed) const;
+
+ private:
+  void on_finalized(std::size_t observer, const multishot::Block& b, sim::SimTime at);
+
+  MetricsRegistry& metrics_;
+  std::size_t observers_{0};
+  std::map<std::uint64_t, sim::SimTime> submit_time_;  // admitted requests
+  std::map<std::uint64_t, sim::SimTime> commit_time_;  // first commit anywhere
+  std::vector<std::set<std::uint64_t>> seen_;          // per observer
+  std::map<std::uint32_t, std::function<void(std::uint64_t)>> listeners_;
+  std::uint64_t submitted_{0};
+  std::uint64_t admitted_{0};
+  std::uint64_t rejected_{0};
+  std::uint64_t committed_{0};
+  std::uint64_t duplicates_{0};
+  std::uint64_t foreign_{0};
+};
+
+}  // namespace tbft::workload

@@ -12,6 +12,7 @@
 #include "cluster_helpers.hpp"
 #include "ms_cluster_helpers.hpp"
 #include "sim/adversary.hpp"
+#include "workload/scenarios.hpp"
 
 namespace tbft::test {
 namespace {
@@ -94,6 +95,44 @@ TEST(Determinism, MultishotTracesAreByteIdenticalAcrossRuns) {
   const auto b = run_multishot(77);
   ASSERT_GT(a.messages.size(), 0u);
   expect_identical(a, b);
+}
+
+// With generators active (Poisson arrivals, closed-loop replenishment,
+// batching, commit tracking), a run must still be a pure function of seed +
+// config: byte-identical traces and identical WorkloadReports.
+
+workload::ScenarioOptions loaded_opts(bool closed_loop, std::uint64_t seed) {
+  workload::ScenarioOptions opts;
+  opts.preset = workload::Preset::kSteadyState;
+  opts.closed_loop = closed_loop;
+  opts.seed = seed;
+  opts.load_duration = 150 * sim::kMillisecond;
+  opts.rate_per_sec = 600;
+  opts.outstanding = 6;
+  return opts;
+}
+
+TEST(Determinism, OpenLoopWorkloadIsDeterministic) {
+  const auto a = workload::run_scenario(loaded_opts(false, 0xBEEF));
+  const auto b = workload::run_scenario(loaded_opts(false, 0xBEEF));
+  ASSERT_GT(a.report.committed, 0u);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_TRUE(a.report == b.report);
+}
+
+TEST(Determinism, ClosedLoopWorkloadIsDeterministic) {
+  const auto a = workload::run_scenario(loaded_opts(true, 0xF00D));
+  const auto b = workload::run_scenario(loaded_opts(true, 0xF00D));
+  ASSERT_GT(a.report.committed, 0u);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_TRUE(a.report == b.report);
+}
+
+TEST(Determinism, WorkloadSeedsDiverge) {
+  const auto a = workload::run_scenario(loaded_opts(false, 1));
+  const auto b = workload::run_scenario(loaded_opts(false, 2));
+  EXPECT_NE(a.trace_digest, b.trace_digest);
 }
 
 }  // namespace

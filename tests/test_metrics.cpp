@@ -43,6 +43,42 @@ TEST(Metrics, PercentileInterpolates) {
   EXPECT_NEAR(h.percentile(90), 90.1, 0.2);
 }
 
+// Workload reporting (p50/p95/p99 of submit->commit latency) leans on
+// percentile(); the edges must be exact, not approximately sane.
+
+TEST(Metrics, PercentileOfSingleSampleIsThatSampleAtEveryP) {
+  Histogram h;
+  h.record(7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 7.5);
+}
+
+TEST(Metrics, PercentileBoundsAreMinAndMaxRegardlessOfInsertionOrder) {
+  Histogram h;
+  for (double v : {9.0, 1.0, 5.0, 3.0}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 9.0);
+  EXPECT_NEAR(h.percentile(50), 4.0, 1e-9);  // midpoint of 3 and 5
+}
+
+TEST(Metrics, PercentileClampsOutOfRangeP) {
+  Histogram h;
+  h.record(2.0);
+  h.record(4.0);
+  // p outside [0, 100] must clamp, not index out of bounds.
+  EXPECT_DOUBLE_EQ(h.percentile(-50), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1e9), 4.0);
+}
+
+TEST(Metrics, EmptyPercentileIsZeroForAnyP) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-1), 0.0);
+}
+
 TEST(Metrics, RegistryReturnsSameObjectByName) {
   MetricsRegistry reg;
   reg.counter("a").add(3);

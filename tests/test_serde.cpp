@@ -86,6 +86,31 @@ TEST(Serde, EmptyBytesAndString) {
   EXPECT_TRUE(r.done());
 }
 
+TEST(Serde, BytesViewIsACopyFreeWindowIntoTheInput) {
+  Writer w;
+  const std::vector<std::uint8_t> blob = {9, 8, 7, 6};
+  w.bytes(blob);
+  w.bytes({});
+  Reader r(w.data());
+  const auto view = r.bytes_view();
+  ASSERT_EQ(view.size(), blob.size());
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), blob.begin()));
+  // The span aliases the writer's buffer rather than copying it.
+  EXPECT_GE(view.data(), w.data().data());
+  EXPECT_LT(view.data(), w.data().data() + w.size());
+  EXPECT_TRUE(r.bytes_view().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, BytesViewOversizedLengthFails) {
+  Writer w;
+  w.varint(500);
+  w.u8(1);
+  Reader r(w.data());
+  EXPECT_TRUE(r.bytes_view().empty());
+  EXPECT_FALSE(r.ok());
+}
+
 TEST(Serde, TruncatedInputFailsSticky) {
   Writer w;
   w.u64(7);
