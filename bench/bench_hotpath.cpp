@@ -14,65 +14,18 @@
 // Run: bench_hotpath [n] [rounds]. Exit code 0 iff all invariants hold.
 // Emits BENCH_hotpath.json for trajectory tracking.
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <memory>
-#include <new>
 #include <queue>
 #include <vector>
 
+#include "bench_alloc_count.hpp"
 #include "bench_json.hpp"
 #include "core/messages.hpp"
 #include "sim/runtime.hpp"
-
-// ---- Allocation counting ---------------------------------------------------
-// Global new/delete overrides: every heap allocation in the process bumps the
-// counter. This is why bench_hotpath is a plain main() and must not link a
-// framework with background threads.
-
-namespace {
-std::atomic<std::uint64_t> g_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size ? size : 1);
-}
-void* operator new[](std::size_t size, const std::nothrow_t& nt) noexcept {
-  return ::operator new(size, nt);
-}
-void* operator new(std::size_t size, std::align_val_t align) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
-                                   (size + static_cast<std::size_t>(align) - 1) /
-                                       static_cast<std::size_t>(align) *
-                                       static_cast<std::size_t>(align))) {
-    return p;
-  }
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size, std::align_val_t align) {
-  return ::operator new(size, align);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 namespace tbft::bench {
 namespace {
@@ -205,9 +158,9 @@ DrainResult check_steady_state_allocs(std::uint32_t n) {
   }
   simulation.start();  // all encodes + schedules (and their allocations) here
 
-  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t allocs0 = alloc_count().load(std::memory_order_relaxed);
   simulation.run_to_quiescence(10 * sim::kSecond);  // pure delivery drain
-  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+  const std::uint64_t allocs = alloc_count().load(std::memory_order_relaxed) - allocs0;
 
   DrainResult res;
   res.events = static_cast<std::uint64_t>(kBursts) * n;

@@ -5,7 +5,13 @@
 //
 // Format: one flat JSON object per file, written to the current working
 // directory as BENCH_<name>.json. Values are strings, integers or doubles.
+//
+// Every bench routes its emission through this one writer, which is what
+// keeps the output strict JSON: non-finite doubles (inf/nan from zero-event
+// smoke runs) are emitted as null -- "inf" / "-nan" literals are not JSON
+// and broke downstream parsers.
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -63,7 +69,11 @@ class JsonReport {
       if (const auto* s = std::get_if<std::string>(&value)) {
         std::fprintf(f, "\"%s\"", escaped(*s).c_str());
       } else if (const auto* d = std::get_if<double>(&value)) {
-        std::fprintf(f, "%.6g", *d);
+        if (std::isfinite(*d)) {
+          std::fprintf(f, "%.6g", *d);
+        } else {
+          std::fprintf(f, "null");  // inf/nan are not valid JSON
+        }
       } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
         std::fprintf(f, "%lld", static_cast<long long>(*i));
       } else {

@@ -18,4 +18,15 @@ std::vector<std::span<const std::uint8_t>> payload_frames(
   return frames;
 }
 
+bool payload_has_frames(std::span<const std::uint8_t> payload) {
+  serde::Reader r(payload);
+  r.varint();  // view nonce
+  while (r.ok() && !r.at_end()) {
+    const auto f = r.bytes_view();
+    if (!r.ok()) return false;
+    if (!f.empty()) return true;  // zero-length frames are filler padding
+  }
+  return false;
+}
+
 }  // namespace tbft::multishot

@@ -57,4 +57,10 @@ struct Block {
 std::vector<std::span<const std::uint8_t>> payload_frames(
     std::span<const std::uint8_t> payload);
 
+/// True iff `payload` parses to at least one non-empty transaction frame.
+/// Allocation-free (stops at the first frame): the hot-path form of
+/// `!payload_frames(payload).empty()` used by the consensus state layer to
+/// tell filler blocks from transaction-bearing ones.
+[[nodiscard]] bool payload_has_frames(std::span<const std::uint8_t> payload);
+
 }  // namespace tbft::multishot

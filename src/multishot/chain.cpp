@@ -1,34 +1,70 @@
 #include "multishot/chain.hpp"
 
+#include <utility>
+
 #include "common/assert.hpp"
 
 namespace tbft::multishot {
 
 bool ChainStore::add_block(const Block& b) {
   if (b.slot < first_unfinalized() || b.slot > first_unfinalized() + kWindow) return false;
-  blocks_.emplace(std::make_pair(b.slot, b.hash()), b);
+  SlotEntry* e = window_.ensure(b.slot);
+  TBFT_ASSERT(e != nullptr);  // window base tracks first_unfinalized()
+  const std::uint64_t h = b.hash();
+  if (e->find(h) != nullptr) return true;  // duplicate candidate: no-op
+  Candidate* slot_for_new = nullptr;
+  if (e->used == kMaxCandidatesPerSlot) {
+    // At the bound, displace candidates in rotation (oldest first) rather
+    // than refuse: a hard refusal would let >kMax failed views (each fresh
+    // re-proposal hashes differently) brick the slot for every later
+    // proposal, while a fixed victim index would let spam repeatedly evict
+    // the most recently admitted (live) candidate. The notarized block's
+    // content is always spared -- the finalization rule may still need it.
+    // Displaced content, if it ever wins, is recoverable through the usual
+    // content-unknown paths (re-proposal, ChainInfo).
+    std::size_t victim = e->next_victim % kMaxCandidatesPerSlot;
+    if (e->has_notarization && e->candidates[victim].hash == e->notar.hash) {
+      victim = (victim + 1) % kMaxCandidatesPerSlot;
+    }
+    e->next_victim = victim + 1;
+    slot_for_new = &e->candidates[victim];
+  } else {
+    if (e->used == e->candidates.size()) e->candidates.push_back({});
+    slot_for_new = &e->candidates[e->used++];
+  }
+  Candidate& c = *slot_for_new;
+  c.hash = h;
+  c.has_txs = payload_has_frames(b.payload);
+  // Copy-assign reuses whatever payload capacity the recycled slot kept.
+  // (The winning candidate's buffer moves into the finalized chain at
+  // try_finalize, so a payload-bearing slot costs one buffer allocation per
+  // finalization cycle -- that is the inherent cost of retaining the chain
+  // data, not state-layer bookkeeping; see the zero-alloc scope note in
+  // chain.hpp.)
+  c.block = b;
   return true;
 }
 
 const Block* ChainStore::find_block(Slot slot, std::uint64_t hash) const {
-  const auto it = blocks_.find({slot, hash});
-  return it == blocks_.end() ? nullptr : &it->second;
+  const SlotEntry* e = window_.find(slot);
+  if (e == nullptr) return nullptr;
+  const Candidate* c = e->find(hash);
+  return c == nullptr ? nullptr : &c->block;
 }
 
 bool ChainStore::notarize(Slot slot, View view, std::uint64_t hash) {
   if (is_finalized(slot)) return false;
-  auto [it, inserted] = notarized_.try_emplace(slot, Notarization{view, hash});
-  if (!inserted) {
-    if (view <= it->second.view) return false;
-    it->second = Notarization{view, hash};
-  }
+  SlotEntry* e = window_.ensure(slot);
+  if (e == nullptr) return false;  // beyond the window: bounded storage wins
+  if (e->has_notarization && view <= e->notar.view) return false;
+  e->notar = Notarization{view, hash};
+  e->has_notarization = true;
   return true;
 }
 
 bool ChainStore::force_finalize(const Block& b) {
   if (b.slot != first_unfinalized() || b.parent_hash != finalized_tip_hash()) return false;
   chain_.push_back(b);
-  notarized_.erase(b.slot);
   prune_finalized();
   return true;
 }
@@ -36,9 +72,9 @@ bool ChainStore::force_finalize(const Block& b) {
 std::optional<Notarization> ChainStore::notarized(Slot slot) const {
   if (slot == 0) return Notarization{0, kGenesisHash};
   if (is_finalized(slot)) return Notarization{0, chain_[slot - 1].hash()};
-  const auto it = notarized_.find(slot);
-  if (it == notarized_.end()) return std::nullopt;
-  return it->second;
+  const SlotEntry* e = window_.find(slot);
+  if (e == nullptr || !e->has_notarization) return std::nullopt;
+  return e->notar;
 }
 
 std::optional<std::uint64_t> ChainStore::required_parent(Slot slot) const {
@@ -72,24 +108,42 @@ std::size_t ChainStore::try_finalize() {
   while (notarized_suffix_length() >= 4) {
     const Slot s = first_unfinalized();
     const auto n = notarized(s);
-    const Block* b = find_block(s, n->hash);
-    TBFT_ASSERT(b != nullptr);
-    chain_.push_back(*b);
-    notarized_.erase(s);
+    SlotEntry* e = window_.find(s);
+    TBFT_ASSERT(e != nullptr);
+    Candidate* c = e->find(n->hash);
+    TBFT_ASSERT(c != nullptr);
+    // Move, don't copy: the slot is pruned right below, and the payload
+    // bytes need to live on in the finalized chain anyway.
+    chain_.push_back(std::move(c->block));
     ++finalized;
   }
   if (finalized > 0) prune_finalized();
   return finalized;
 }
 
-void ChainStore::prune_finalized() {
-  const Slot first = first_unfinalized();
-  for (auto it = blocks_.begin(); it != blocks_.end();) {
-    it = (it->first.first < first) ? blocks_.erase(it) : std::next(it);
-  }
-  for (auto it = notarized_.begin(); it != notarized_.end();) {
-    it = (it->first < first) ? notarized_.erase(it) : std::next(it);
-  }
+std::size_t ChainStore::pending_entries() const noexcept {
+  std::size_t n = 0;
+  window_.for_each([&n](Slot, const SlotEntry& e) {
+    n += e.used + (e.has_notarization ? 1 : 0);
+  });
+  return n;
 }
+
+bool ChainStore::slot_has_pending_txs(Slot slot) const {
+  const SlotEntry* e = window_.find(slot);
+  if (e == nullptr || !e->has_notarization) return false;
+  const Candidate* c = e->find(e->notar.hash);
+  // Unknown content cannot be proven filler: report it pending so callers
+  // keep driving finality (and catch-up) forward.
+  return c == nullptr || c->has_txs;
+}
+
+bool ChainStore::candidate_has_txs(Slot slot, std::uint64_t hash) const {
+  const SlotEntry* e = window_.find(slot);
+  const Candidate* c = e == nullptr ? nullptr : e->find(hash);
+  return c == nullptr || c->has_txs;
+}
+
+void ChainStore::prune_finalized() { window_.advance_base(first_unfinalized()); }
 
 }  // namespace tbft::multishot

@@ -5,15 +5,26 @@
 // parent-linked blocks is finalized together with its prefix (paper §6.1).
 //
 // Storage discipline: finalized blocks are compacted into the output chain;
-// candidate/notarization state is kept only for a bounded window of
-// unfinalized slots, preserving the protocol's bounded-storage character.
+// candidate/notarization state lives in a flat SlotWindow ring over the
+// bounded window of unfinalized slots (slot_window.hpp). Slot slabs and the
+// candidate blocks inside them recycle as the window advances, so
+// steady-state add/notarize/finalize/prune performs zero heap allocations
+// once the high-water mark is reached (asserted by bench_consensus).
+//
+// Zero-alloc scope: the contract covers the state-layer *bookkeeping*
+// (candidates, notarizations, vote tallies, pruning). Retaining a
+// payload-bearing block's bytes in the ever-growing finalized chain is
+// inherent data storage and costs one buffer allocation per finalization
+// cycle regardless of layout (the winning buffer moves into the chain and
+// the recycled slot re-grows on its next use); bench_consensus therefore
+// drives the layer with empty payloads to isolate exactly the bookkeeping.
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "multishot/block.hpp"
+#include "multishot/slot_window.hpp"
 
 namespace tbft::multishot {
 
@@ -24,8 +35,13 @@ struct Notarization {
 
 class ChainStore {
  public:
+  ChainStore() : window_(kWindow + 1, 1) {}
+
   /// Remember a candidate block (from a proposal). Returns false when the
   /// slot is outside the acceptance window (finalized or too far ahead).
+  /// A slot holds at most kMaxCandidatesPerSlot distinct candidates; at the
+  /// bound the oldest non-notarized candidate is displaced (the slot stays
+  /// live under Byzantine re-proposal floods).
   bool add_block(const Block& b);
 
   [[nodiscard]] const Block* find_block(Slot slot, std::uint64_t hash) const;
@@ -33,7 +49,7 @@ class ChainStore {
   /// Record that (slot, view, hash) reached a vote quorum. Later views
   /// override earlier notarizations of the same slot (a re-proposed aborted
   /// slot supersedes its tentative predecessor). Returns true when the
-  /// notarization state changed.
+  /// notarization state changed. Slots outside the window are refused.
   bool notarize(Slot slot, View view, std::uint64_t hash);
 
   /// Adopt a finalized block learned through f+1 matching ChainInfo claims;
@@ -64,21 +80,68 @@ class ChainStore {
   [[nodiscard]] std::size_t notarized_suffix_length() const;
 
   /// Upper bound on unfinalized state (candidate blocks + notarizations).
-  [[nodiscard]] std::size_t pending_entries() const noexcept {
-    return blocks_.size() + notarized_.size();
-  }
+  [[nodiscard]] std::size_t pending_entries() const noexcept;
+
+  /// True when unfinalized `slot` is notarized and its block either carries
+  /// transaction frames or its content is unknown locally (conservatively
+  /// pending). Idle-chain suppression input: filler-only suffixes need no
+  /// further finality work.
+  [[nodiscard]] bool slot_has_pending_txs(Slot slot) const;
+
+  /// True when candidate (slot, hash) carries transaction frames -- or is
+  /// not stored locally (unknown content is conservatively pending).
+  [[nodiscard]] bool candidate_has_txs(Slot slot, std::uint64_t hash) const;
+
+  /// Pre-size the finalized chain for a long run (benches/drivers measuring
+  /// allocation-free steady state exclude the one-time growth this way).
+  void reserve_finalized(std::size_t slots) { chain_.reserve(slots); }
+
+  /// Window slabs ever allocated == peak unfinalized-slot occupancy
+  /// (bounded-storage regression tests).
+  [[nodiscard]] std::size_t window_slabs() const noexcept { return window_.slab_count(); }
 
   /// Slots further than this past the finalized tip are rejected (defends
   /// storage against Byzantine far-future spam; honest traffic stays within
   /// the finality depth of 5).
   static constexpr Slot kWindow = 64;
+  /// Distinct candidate blocks tracked per slot (equivocation/re-proposal
+  /// bound; honest slots see one candidate per view). Must be >= 2 so the
+  /// displacement rule in add_block can always spare the notarized block.
+  static constexpr std::size_t kMaxCandidatesPerSlot = 32;
 
  private:
-  std::vector<Block> chain_;                              // finalized, slots 1..size
-  std::map<std::pair<Slot, std::uint64_t>, Block> blocks_;  // candidates
-  std::map<Slot, Notarization> notarized_;                // unfinalized slots
+  struct Candidate {
+    std::uint64_t hash{0};  // cached b.hash(), computed once at admission
+    bool has_txs{false};    // payload carries transaction frames
+    Block block;
+  };
+  struct SlotEntry {
+    std::vector<Candidate> candidates;  // high-water storage; `used` are live
+    std::size_t used{0};
+    std::size_t next_victim{0};  // displacement rotates oldest-first
+    Notarization notar{};
+    bool has_notarization{false};
+
+    void reset() noexcept {
+      used = 0;
+      next_victim = 0;
+      has_notarization = false;
+    }
+    [[nodiscard]] Candidate* find(std::uint64_t hash) noexcept {
+      for (std::size_t i = 0; i < used; ++i) {
+        if (candidates[i].hash == hash) return &candidates[i];
+      }
+      return nullptr;
+    }
+    [[nodiscard]] const Candidate* find(std::uint64_t hash) const noexcept {
+      return const_cast<SlotEntry*>(this)->find(hash);
+    }
+  };
 
   void prune_finalized();
+
+  std::vector<Block> chain_;       // finalized, slots 1..size
+  SlotWindow<SlotEntry> window_;   // unfinalized candidate/notarization state
 };
 
 }  // namespace tbft::multishot

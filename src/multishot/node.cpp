@@ -9,12 +9,6 @@
 namespace tbft::multishot {
 
 namespace {
-/// Bound on per-slot maps keyed by view (defends against Byzantine
-/// view-number spam; honest traffic uses a handful of views).
-constexpr std::size_t kMaxTrackedViewsPerSlot = 32;
-/// ChainInfo claims are only tracked this far past the finalized tip.
-constexpr Slot kClaimWindow = 16;
-
 std::size_t varint_size(std::uint64_t v) {
   std::size_t n = 1;
   while (v >= 0x80) {
@@ -114,21 +108,32 @@ bool MultishotNode::submit_tx(std::vector<std::uint8_t> tx) {
 
   // A leader deferring a fresh proposal for transactions (batch_timeout) can
   // propose now.
-  if (!batch_timer_slots_.empty()) {
-    std::vector<Slot> woken;
-    woken.reserve(batch_timer_slots_.size());
-    for (const auto& [tid, s] : batch_timer_slots_) woken.push_back(s);
-    for (const Slot s : woken) {
-      if (SlotState* st = slot_state(s, false); st != nullptr) cancel_batch_timer(*st);
+  if (batch_timers_armed_ > 0) {
+    slot_scratch_.clear();
+    slots_.for_each([this](Slot s, SlotState& st) {
+      if (st.batch_timer != 0) slot_scratch_.push_back(s);
+    });
+    for (const Slot s : slot_scratch_) {
+      if (SlotState* st = slots_.find(s); st != nullptr) cancel_batch_timer(*st);
     }
-    for (const Slot s : woken) try_propose(s);
+    for (const Slot s : slot_scratch_) try_propose(s);
+  }
+  // Idle-chain resume: a quiesced (or proposal-suppressed) network re-arms
+  // at the proposal frontier and, if this node leads it, proposes the new
+  // transaction right away. Gated on suppression having actually happened,
+  // so the loaded hot path never pays the window scan.
+  if (cfg_.max_slots == 0 && idle_suppressed_) {
+    idle_suppressed_ = false;
+    const Slot frontier = proposal_frontier();
+    wake_slot(frontier);
+    try_propose(frontier);
   }
   return true;
 }
 
 View MultishotNode::view_of(Slot s) const {
-  const auto it = slots_.find(s);
-  return it == slots_.end() ? 0 : it->second.view;
+  const SlotState* st = slots_.find(s);
+  return st == nullptr ? 0 : st->view;
 }
 
 bool MultishotNode::tx_finalized(std::span<const std::uint8_t> tx) const {
@@ -141,14 +146,10 @@ bool MultishotNode::tx_finalized(std::span<const std::uint8_t> tx) const {
 MultishotNode::SlotState* MultishotNode::slot_state(Slot s, bool create) {
   if (s < 1 || chain_.is_finalized(s)) return nullptr;
   if (s > chain_.first_unfinalized() + ChainStore::kWindow) return nullptr;
-  const auto it = slots_.find(s);
-  if (it != slots_.end()) return &it->second;
-  if (!create) return nullptr;
-  SlotState& st = slots_[s];
-  st.vc_highest.assign(cfg_.n, kNoView);
-  st.suggests.assign(cfg_.n, std::nullopt);
-  st.proofs.assign(cfg_.n, std::nullopt);
-  return &st;
+  if (!create) return slots_.find(s);
+  SlotState* st = slots_.ensure(s);
+  if (st != nullptr && st->vc_highest.size() != cfg_.n) st->size_for(cfg_.n);
+  return st;
 }
 
 void MultishotNode::start_slot(Slot s) {
@@ -161,12 +162,55 @@ void MultishotNode::start_slot(Slot s) {
 void MultishotNode::arm_timer(Slot s) {
   SlotState* st = slot_state(s, false);
   if (st == nullptr) return;
-  if (st->timer != 0) {
-    ctx().cancel_timer(st->timer);
-    timer_slots_.erase(st->timer);
-  }
+  if (st->timer != 0) ctx().cancel_timer(st->timer);
   st->timer = ctx().set_timer(cfg_.view_timeout());
-  timer_slots_[st->timer] = s;
+}
+
+void MultishotNode::wake_slot(Slot s) {
+  SlotState* st = slot_state(s, true);
+  if (st == nullptr) return;
+  if (!st->started) {
+    st->started = true;
+    arm_timer(s);
+  } else if (st->timer == 0) {
+    arm_timer(s);
+  }
+}
+
+bool MultishotNode::idle_quiescent() const {
+  if (cfg_.max_slots != 0) return false;
+  if (!mempool_.empty()) return false;
+  // Idle means no *work* is pending -- the pipeline's own filler momentum
+  // (un-notarized filler proposals ahead of the suffix) does not count, or
+  // filler would self-sustain forever. Work is: a transaction-bearing (or
+  // content-unknown) proposal/notarization at any unfinalized slot, or
+  // view-change traffic newer than a slot's current view (recovery in
+  // flight). Finality depth for filler blocks is worthless, so a quiesced
+  // network may leave a filler tail unfinalized; resumption finalizes it in
+  // passing.
+  bool quiet = true;
+  slots_.for_each([&](Slot t, const SlotState& st) {
+    if (!quiet || chain_.is_finalized(t)) return;
+    if (st.highest_vc_sent > st.view) {
+      quiet = false;
+      return;
+    }
+    for (const View v : st.vc_highest) {
+      if (v > st.view) {
+        quiet = false;
+        return;
+      }
+    }
+    if (chain_.slot_has_pending_txs(t)) {
+      quiet = false;
+      return;
+    }
+    if (const auto* h = st.proposal_by_view.find(st.view);
+        h != nullptr && chain_.candidate_has_txs(t, *h)) {
+      quiet = false;
+    }
+  });
+  return quiet;
 }
 
 MultishotNode::BatchDraft MultishotNode::build_batch(View view) {
@@ -195,7 +239,7 @@ void MultishotNode::commit_batch(BatchDraft& draft, Slot s, std::size_t payload_
   metrics.histogram("multishot.batch.bytes").record(static_cast<double>(payload_bytes));
 }
 
-bool MultishotNode::defer_for_batch(Slot s, SlotState& st) {
+bool MultishotNode::defer_for_batch(SlotState& st) {
   if (cfg_.batch_timeout <= 0 || st.batch_waited) return false;
   if (mempool_.available() > 0) {
     cancel_batch_timer(st);
@@ -203,7 +247,7 @@ bool MultishotNode::defer_for_batch(Slot s, SlotState& st) {
   }
   if (st.batch_timer == 0) {
     st.batch_timer = ctx().set_timer(cfg_.batch_timeout);
-    batch_timer_slots_[st.batch_timer] = s;
+    ++batch_timers_armed_;
   }
   return true;
 }
@@ -211,8 +255,9 @@ bool MultishotNode::defer_for_batch(Slot s, SlotState& st) {
 void MultishotNode::cancel_batch_timer(SlotState& st) {
   if (st.batch_timer == 0) return;
   ctx().cancel_timer(st.batch_timer);
-  batch_timer_slots_.erase(st.batch_timer);
   st.batch_timer = 0;
+  TBFT_ASSERT(batch_timers_armed_ > 0);
+  --batch_timers_armed_;
 }
 
 std::optional<std::uint64_t> MultishotNode::parent_for_proposal(Slot s) const {
@@ -227,10 +272,8 @@ std::optional<std::uint64_t> MultishotNode::parent_for_proposal(Slot s) const {
   // at all -- build directly on the received proposal (Fig. 2 proposes on
   // *receipt* of the previous proposal).
   if (const auto n = chain_.notarized(prev)) return n->hash;
-  const auto it = slots_.find(prev);
-  if (it != slots_.end()) {
-    const auto pit = it->second.proposal_by_view.find(it->second.view);
-    if (pit != it->second.proposal_by_view.end()) return pit->second;
+  if (const SlotState* pst = slots_.find(prev); pst != nullptr) {
+    if (const auto* h = pst->proposal_by_view.find(pst->view)) return *h;
   }
   return std::nullopt;
 }
@@ -246,7 +289,14 @@ void MultishotNode::try_propose(Slot s) {
 
   Block block;
   if (st->view == 0) {
-    if (defer_for_batch(s, *st)) return;
+    // Idle-chain suppression (unbounded chains): a filler block that no
+    // pending work needs is never proposed -- submissions wake the frontier.
+    if (idle_quiescent()) {
+      idle_suppressed_ = true;
+      ctx().metrics().counter("multishot.idle.skipped_proposals").add();
+      return;
+    }
+    if (defer_for_batch(*st)) return;
     BatchDraft draft = build_batch(0);
     const std::size_t payload_bytes = draft.payload.size();
     block = Block{s, *parent, ctx().id(), std::move(draft.payload)};
@@ -297,8 +347,7 @@ void MultishotNode::try_propose(Slot s) {
   chain_.add_block(block);
   // The proposal is the leader's implicit vote for its own slot (paper
   // §6.1): record vote-1 locally; the broadcast is counted by receivers.
-  if (st->voted.find(st->view) == st->voted.end()) {
-    st->voted[st->view] = block.hash();
+  if (st->voted.try_emplace(st->view, block.hash())) {
     const auto& high = st->record.highest(1);
     if (!high.present() || st->view > high.view) {
       st->record.record(1, st->view, block.value());
@@ -314,10 +363,10 @@ void MultishotNode::do_propose(Slot s, View v, const Block& block) {
 void MultishotNode::try_vote(Slot s) {
   SlotState* st = slot_state(s, false);
   if (st == nullptr) return;
-  if (st->voted.find(st->view) != st->voted.end()) return;
-  const auto pit = st->proposal_by_view.find(st->view);
-  if (pit == st->proposal_by_view.end()) return;
-  const std::uint64_t h = pit->second;
+  if (st->voted.find(st->view) != nullptr) return;
+  const auto* ph = st->proposal_by_view.find(st->view);
+  if (ph == nullptr) return;
+  const std::uint64_t h = *ph;
   const Block* b = chain_.find_block(s, h);
   if (b == nullptr) return;
 
@@ -337,7 +386,7 @@ void MultishotNode::try_vote(Slot s) {
     if (!core::proposal_is_safe(qp_, st->view, Value{h}, proofs)) return;
   }
 
-  st->voted[st->view] = h;
+  st->voted.try_emplace(st->view, h);
   record_vote_effects(s, st->view, *b);
   broadcast_ms(MsVote{s, st->view, h});
 }
@@ -409,24 +458,14 @@ void MultishotNode::note_finalized(const Block& b) {
 
 void MultishotNode::prune_slots() {
   const Slot first = chain_.first_unfinalized();
-  for (auto it = slots_.begin(); it != slots_.end();) {
-    if (it->first < first) {
-      if (it->second.timer != 0) {
-        ctx().cancel_timer(it->second.timer);
-        timer_slots_.erase(it->second.timer);
-      }
-      cancel_batch_timer(it->second);
-      it = slots_.erase(it);
-    } else {
-      ++it;
+  slots_.advance_base(first, [this](Slot, SlotState& st) {
+    if (st.timer != 0) {
+      ctx().cancel_timer(st.timer);
+      st.timer = 0;
     }
-  }
-  for (auto it = chain_claims_.begin(); it != chain_claims_.end();) {
-    it = (it->first.first < first) ? chain_claims_.erase(it) : std::next(it);
-  }
-  for (auto it = claimed_blocks_.begin(); it != claimed_blocks_.end();) {
-    it = (it->first.first < first) ? claimed_blocks_.erase(it) : std::next(it);
-  }
+    cancel_batch_timer(st);
+  });
+  chain_claims_.advance_base(first);
 }
 
 void MultishotNode::on_message(NodeId from, const sim::Payload& payload) {
@@ -451,19 +490,35 @@ void MultishotNode::handle(NodeId from, const MsProposal& m) {
   if (from != cfg_.leader_of(m.slot, m.view)) return;
   SlotState* st = slot_state(m.slot, true);
   if (st == nullptr) return;
-  if (!chain_.add_block(m.block)) return;
-
-  const auto [it, inserted] = st->proposal_by_view.try_emplace(m.view, m.block.hash());
-  if (!inserted) return;  // first proposal per view wins; equivocation ignored
-  if (record_timeline_) first_proposal_at_.try_emplace(m.slot, ctx().now());
-  if (st->proposal_by_view.size() > kMaxTrackedViewsPerSlot) {
-    st->proposal_by_view.erase(st->proposal_by_view.begin());
+  // First proposal per view wins -- checked BEFORE the candidate store, so
+  // an equivocating leader cannot flood the bounded per-slot storage. A few
+  // *alternate* blocks per slot are still stored: if another variant wins
+  // notarization elsewhere, this node holds its content and finalizes
+  // without a recovery round. Beyond the per-slot bound (and for future-
+  // view spam churning first-per-view slots), the view-change /
+  // content-unknown recovery paths take over -- a bounded liveness delay,
+  // never a safety issue (all state is content-addressed).
+  if (const auto* recorded = st->proposal_by_view.find(m.view); recorded != nullptr) {
+    if (*recorded != m.block.hash() && st->extra_candidates < kMaxExtraCandidatesPerSlot &&
+        chain_.add_block(m.block)) {
+      ++st->extra_candidates;
+    }
+    return;
   }
+  // Record the view's proposal first: a view refused at the tracked-view
+  // bound must leave no trace in the bounded candidate store either, or
+  // stale-view spam could churn its displacement rotation.
+  const std::uint64_t h = m.block.hash();
+  if (!st->proposal_by_view.try_emplace(m.view, h)) return;  // at the view bound
+  if (!chain_.add_block(m.block)) return;  // window race: mapping alone is harmless
+  if (record_timeline_) first_proposal_at_.try_emplace(m.slot, ctx().now());
+  // Proposal activity revives a dormant (idle-suppressed) slot.
+  if (st->started && st->timer == 0) arm_timer(m.slot);
 
   // Implicit leader vote (paper §6.1).
-  auto& voters = st->votes[{m.view, m.block.hash()}];
+  NodeBitmap& voters = st->votes.voters(m.view, h, cfg_.n);
   voters.insert(from);
-  if (qp_.is_quorum(voters.size()) && chain_.notarize(m.slot, m.view, m.block.hash())) {
+  if (qp_.is_quorum(voters.count()) && chain_.notarize(m.slot, m.view, h)) {
     on_notarized(m.slot);
   }
 
@@ -479,12 +534,13 @@ void MultishotNode::handle(NodeId from, const MsProposal& m) {
 void MultishotNode::handle(NodeId from, const MsVote& m) {
   SlotState* st = slot_state(m.slot, true);
   if (st == nullptr) return;
-  auto& voters = st->votes[{m.view, m.block_hash}];
+  // Vote traffic revives a dormant slot just like proposals do: a quorum of
+  // votes can complete a content-unknown notarization this node must then
+  // chase (view change -> ChainInfo), which needs a live timer.
+  if (st->started && st->timer == 0) arm_timer(m.slot);
+  NodeBitmap& voters = st->votes.voters(m.view, m.block_hash, cfg_.n);
   voters.insert(from);
-  if (st->votes.size() > kMaxTrackedViewsPerSlot * 4) {
-    st->votes.erase(st->votes.begin());
-  }
-  if (qp_.is_quorum(voters.size()) && chain_.notarize(m.slot, m.view, m.block_hash)) {
+  if (qp_.is_quorum(voters.count()) && chain_.notarize(m.slot, m.view, m.block_hash)) {
     on_notarized(m.slot);
   }
 }
@@ -521,11 +577,14 @@ void MultishotNode::handle(NodeId from, const MsViewChange& m) {
   if (st == nullptr) return;
   if (m.view <= st->vc_highest[from]) return;
   st->vc_highest[from] = m.view;
+  // A peer asking for a view change revives a dormant slot: this node must
+  // be able to time out and echo for the quorum to form.
+  if (st->started && st->timer == 0) arm_timer(m.slot);
 
-  auto kth_highest = [st](std::size_t k) {
-    std::vector<View> sorted(st->vc_highest.begin(), st->vc_highest.end());
-    std::sort(sorted.begin(), sorted.end(), std::greater<>());
-    return sorted[k - 1];
+  auto kth_highest = [this, st](std::size_t k) {
+    view_scratch_.assign(st->vc_highest.begin(), st->vc_highest.end());
+    std::sort(view_scratch_.begin(), view_scratch_.end(), std::greater<>());
+    return view_scratch_[k - 1];
   };
 
   const View echo_target = kth_highest(qp_.blocking_size());
@@ -544,56 +603,70 @@ void MultishotNode::change_view(Slot from_slot, View new_view) {
   // Move every started, unfinalized slot >= from_slot to the new view
   // (Algorithm 2); abort their tentative blocks and exchange suggest/proof
   // so the new leaders can re-propose safe values.
-  std::vector<Slot> affected;
-  for (auto& [t, ts] : slots_) {
-    if (t < from_slot || !ts.started || new_view <= ts.view) continue;
+  slot_scratch_.clear();
+  slots_.for_each([&](Slot t, SlotState& ts) {
+    if (t < from_slot || !ts.started || new_view <= ts.view) return;
     ts.view = new_view;
     ts.proposed = false;
     cancel_batch_timer(ts);  // fresh re-proposals never wait for transactions
     arm_timer(t);
-    affected.push_back(t);
-  }
-  for (const Slot t : affected) {
-    SlotState& ts = slots_[t];
+    slot_scratch_.push_back(t);
+  });
+  for (const Slot t : slot_scratch_) {
+    SlotState& ts = *slots_.find(t);
     broadcast_ms(MsProof{t, new_view, ts.record.highest(1), ts.record.prev(1),
                          ts.record.highest(4)});
     send_ms(cfg_.leader_of(t, new_view),
             MsSuggest{t, new_view, ts.record.highest(2), ts.record.prev(2),
                       ts.record.highest(3)});
   }
-  for (const Slot t : affected) {
+  for (const Slot t : slot_scratch_) {
     try_propose(t);
     try_vote(t);  // a proposal for the new view may already be buffered
   }
 }
 
 Slot MultishotNode::lowest_unfinalized_started() const {
-  for (const auto& [s, st] : slots_) {
-    if (st.started && !chain_.is_finalized(s)) return s;
-  }
-  return chain_.first_unfinalized();
+  Slot found = 0;
+  slots_.for_each([&](Slot s, const SlotState& st) {
+    if (found == 0 && st.started && !chain_.is_finalized(s)) found = s;
+  });
+  return found != 0 ? found : chain_.first_unfinalized();
 }
 
 void MultishotNode::on_timer(sim::TimerId id) {
-  if (const auto bit = batch_timer_slots_.find(id); bit != batch_timer_slots_.end()) {
-    const Slot s = bit->second;
-    batch_timer_slots_.erase(bit);
-    if (SlotState* st = slot_state(s, false); st != nullptr && st->batch_timer == id) {
-      st->batch_timer = 0;
-      st->batch_waited = true;  // give up waiting; propose (filler if need be)
-      try_propose(s);
-    }
+  // Resolve the timer to its slot by scanning the window: timers fire orders
+  // of magnitude less often than votes arrive, so the bounded sweep beats
+  // maintaining reverse-index maps on the hot path.
+  Slot batch_slot = 0;
+  Slot view_slot = 0;
+  slots_.for_each([&](Slot s, SlotState& st) {
+    if (st.batch_timer == id) batch_slot = s;
+    if (st.timer == id) view_slot = s;
+  });
+
+  if (batch_slot != 0) {
+    SlotState* st = slots_.find(batch_slot);
+    st->batch_timer = 0;
+    TBFT_ASSERT(batch_timers_armed_ > 0);
+    --batch_timers_armed_;
+    st->batch_waited = true;  // give up waiting; propose (filler if need be)
+    try_propose(batch_slot);
     return;
   }
-  const auto tit = timer_slots_.find(id);
-  if (tit == timer_slots_.end()) return;
-  const Slot s = tit->second;
-  timer_slots_.erase(tit);
-
-  SlotState* st = slot_state(s, false);
-  if (st == nullptr || st->timer != id) return;
+  if (view_slot == 0) return;
+  SlotState* st = slots_.find(view_slot);
   st->timer = 0;
-  if (chain_.is_finalized(s)) return;
+  if (chain_.is_finalized(view_slot)) return;
+
+  // Idle-chain suppression: with nothing pending, the slot goes dormant
+  // instead of re-arming -- submissions, proposals and view-change messages
+  // wake it again, so an idle network truly quiesces.
+  if (idle_quiescent()) {
+    idle_suppressed_ = true;
+    ctx().metrics().counter("multishot.idle.dormant_timers").add();
+    return;
+  }
 
   // Ask for a view change at the lowest aborted (unfinalized) slot (§6.2).
   const Slot target_slot = lowest_unfinalized_started();
@@ -604,30 +677,39 @@ void MultishotNode::on_timer(sim::TimerId id) {
     ctx().metrics().counter("multishot.viewchange.sent").add();
     broadcast_ms(MsViewChange{target_slot, target});
   }
-  arm_timer(s);  // retransmission against pre-GST loss
+  arm_timer(view_slot);  // retransmission against pre-GST loss
 }
 
 void MultishotNode::handle(NodeId from, const MsChainInfo& m) {
   bool adopted_any = false;
   for (const Block& b : m.blocks) {
-    if (b.slot < chain_.first_unfinalized() ||
-        b.slot > chain_.first_unfinalized() + kClaimWindow) {
-      continue;
+    const Slot first = chain_.first_unfinalized();
+    if (b.slot < first || b.slot > first + kClaimWindow) continue;
+    ClaimSlab* slab = chain_claims_.ensure(b.slot);
+    if (slab == nullptr) continue;
+    const std::uint64_t h = b.hash();
+    ClaimSlab::Claim* claim = slab->find(h);
+    if (claim == nullptr) {
+      // One created claim per sender per slot: honest senders claim a
+      // single hash, so only Byzantine fan-out is refused here.
+      if (slab->sender_has_claim(from)) continue;
+      claim = slab->add(h, cfg_.n);
+      if (claim == nullptr) continue;  // per-slot claim bound reached
+      claim->block = b;
     }
-    const auto key = std::make_pair(b.slot, b.hash());
-    claimed_blocks_[key] = b;
-    chain_claims_[key].insert(from);
+    claim->senders.insert(from);
   }
   // Adopt blocks with f+1 claims, in chain order.
   bool progress = true;
   while (progress) {
     progress = false;
-    const Slot s = chain_.first_unfinalized();
-    for (const auto& [key, senders] : chain_claims_) {
-      if (key.first != s || !qp_.is_blocking(senders.size())) continue;
-      const Block& b = claimed_blocks_.at(key);
-      if (chain_.force_finalize(b)) {
-        note_finalized(b);
+    ClaimSlab* slab = chain_claims_.find(chain_.first_unfinalized());
+    if (slab == nullptr) break;
+    for (std::size_t i = 0; i < slab->used; ++i) {
+      ClaimSlab::Claim& claim = slab->claims[i];
+      if (!qp_.is_blocking(claim.senders.count())) continue;
+      if (chain_.force_finalize(claim.block)) {
+        note_finalized(claim.block);
         progress = true;
         adopted_any = true;
         break;
@@ -640,6 +722,12 @@ void MultishotNode::handle(NodeId from, const MsChainInfo& m) {
     const Slot next = chain_.first_unfinalized();
     try_vote(next);
     try_propose(next);
+    // A caught-up node with pending transactions restarts the pipeline.
+    if (cfg_.max_slots == 0 && !mempool_.empty()) {
+      const Slot frontier = proposal_frontier();
+      wake_slot(frontier);
+      try_propose(frontier);
+    }
   }
 }
 

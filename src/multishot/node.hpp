@@ -19,6 +19,21 @@
 // monotone view-change counting per slot, and ChainInfo catch-up answered
 // to view-changes for already-finalized slots (adopted on f+1 matching
 // claims).
+//
+// State layout (DESIGN_PERF.md "Consensus state layer"): per-slot state
+// lives in a flat SlotWindow ring over the bounded unfinalized window, with
+// flat view/vote containers inside each slab (slot_window.hpp), so
+// steady-state vote/proposal processing performs zero heap allocations.
+// Timer-to-slot resolution scans the window (timers fire orders of magnitude
+// less often than votes arrive), replacing the std::map reverse indices.
+//
+// Idle-chain suppression (unbounded chains, max_slots == 0): a leader skips
+// its fresh filler proposal -- and nodes let their view timers go dormant --
+// when no work is pending: the mempool is empty, no unfinalized slot holds
+// a transaction-bearing (or content-unknown) proposal or notarization, and
+// no view-change traffic is newer than the slots' views. Submissions,
+// proposals and view-change messages re-arm dormant slots, so a loaded run
+// quiesces naturally and resumes on new traffic.
 
 #include <functional>
 #include <map>
@@ -32,6 +47,7 @@
 #include "multishot/chain.hpp"
 #include "multishot/mempool.hpp"
 #include "multishot/messages.hpp"
+#include "multishot/slot_window.hpp"
 #include "sim/runtime.hpp"
 
 namespace tbft::multishot {
@@ -42,6 +58,7 @@ struct MultishotConfig {
   sim::SimTime delta_bound{10 * sim::kMillisecond};
   std::uint32_t timeout_delta_multiple{9};
   /// Leaders do not propose blocks for slots beyond this (0 = unbounded).
+  /// Unbounded chains enable idle suppression: see the header comment.
   Slot max_slots{0};
   /// Payload bytes attached to fresh blocks when the mempool is empty.
   std::uint32_t default_payload_bytes{8};
@@ -111,6 +128,10 @@ class MultishotNode : public sim::ProtocolNode {
 
   [[nodiscard]] const BoundedMempool& mempool() const noexcept { return mempool_; }
 
+  /// Slot-state slabs ever allocated == peak concurrently-live slots
+  /// (bounded-storage regression tests).
+  [[nodiscard]] std::size_t slot_slabs() const noexcept { return slots_.slab_count(); }
+
  protected:
   // Byzantine subclasses override.
   virtual void do_propose(Slot s, View v, const Block& block);
@@ -125,6 +146,18 @@ class MultishotNode : public sim::ProtocolNode {
   }
 
  private:
+  /// Bound on per-slot containers keyed by view (defends against Byzantine
+  /// view-number spam; honest traffic uses a handful of views).
+  static constexpr std::size_t kMaxTrackedViewsPerSlot = 32;
+  /// ChainInfo claims are only tracked this far past the finalized tip.
+  static constexpr Slot kClaimWindow = 16;
+  /// Distinct claimed blocks tracked per slot (honest claims agree; only
+  /// Byzantine senders can fan out further).
+  static constexpr std::size_t kMaxClaimsPerSlot = 32;
+  /// Alternate equivocating blocks stored per slot via the proposal path
+  /// (beyond each view's recorded first proposal).
+  static constexpr std::uint8_t kMaxExtraCandidatesPerSlot = 4;
+
   struct SlotState {
     bool started{false};
     View view{0};
@@ -132,19 +165,101 @@ class MultishotNode : public sim::ProtocolNode {
     sim::TimerId batch_timer{0};  // armed while a fresh proposal waits for txs
     bool batch_waited{false};     // the batch timeout for this slot expired
     View highest_vc_sent{kNoView};
-    std::vector<View> vc_highest;                    // per sender
-    std::map<View, std::uint64_t> proposal_by_view;  // leader's block hash
-    std::map<std::pair<View, std::uint64_t>, std::set<NodeId>> votes;
-    std::map<View, std::uint64_t> voted;  // my head vote per view
-    bool proposed{false};                 // I proposed in the current view
-    core::VoteRecord record;              // implicit per-slot phase history
+    std::vector<View> vc_highest;                        // per sender
+    ViewHashMap proposal_by_view{kMaxTrackedViewsPerSlot};  // leader's block hash
+    VoteLedger votes{kMaxTrackedViewsPerSlot * 4};
+    ViewHashMap voted{kMaxTrackedViewsPerSlot};  // my head vote per view
+    bool proposed{false};                        // I proposed in the current view
+    /// Alternate (equivocating) blocks stored for this slot beyond the
+    /// first-per-view ones. Bounded per *slot* (a leader of several views
+    /// of one slot could otherwise alternate views to flood candidates).
+    std::uint8_t extra_candidates{0};
+    core::VoteRecord record;                     // implicit per-slot phase history
     std::vector<std::optional<MsSuggest>> suggests;  // latest per sender
     std::vector<std::optional<MsProof>> proofs;      // latest per sender
+
+    /// SlotWindow recycle hook: logical defaults, capacity kept. Per-sender
+    /// vectors re-clear at their current size; size_for() sizes fresh slabs.
+    void reset() {
+      started = false;
+      view = 0;
+      timer = 0;
+      batch_timer = 0;
+      batch_waited = false;
+      highest_vc_sent = kNoView;
+      vc_highest.assign(vc_highest.size(), kNoView);
+      proposal_by_view.reset();
+      votes.reset();
+      voted.reset();
+      proposed = false;
+      extra_candidates = 0;
+      record = core::VoteRecord{};
+      suggests.assign(suggests.size(), std::nullopt);
+      proofs.assign(proofs.size(), std::nullopt);
+    }
+    void size_for(std::uint32_t n) {
+      vc_highest.assign(n, kNoView);
+      suggests.assign(n, std::nullopt);
+      proofs.assign(n, std::nullopt);
+    }
+  };
+
+  /// Claimed finalized blocks per slot (ChainInfo catch-up): flat analogue
+  /// of the former (slot, hash) -> {senders, block} maps.
+  struct ClaimSlab {
+    struct Claim {
+      std::uint64_t hash{0};
+      NodeBitmap senders;
+      Block block;
+    };
+    std::vector<Claim> claims;  // high-water storage; `used` are live
+    std::size_t used{0};
+
+    void reset() noexcept { used = 0; }
+    [[nodiscard]] Claim* find(std::uint64_t hash) noexcept {
+      for (std::size_t i = 0; i < used; ++i) {
+        if (claims[i].hash == hash) return &claims[i];
+      }
+      return nullptr;
+    }
+    /// True when `id` already backs some claim for this slot. Honest
+    /// finalized chains agree per slot, so an honest sender only ever
+    /// claims one hash: a sender fanning out to a second distinct hash is
+    /// provably Byzantine and may not occupy further claim entries (keeps
+    /// one flooder from exhausting the per-slot bound and blocking honest
+    /// catch-up claims).
+    [[nodiscard]] bool sender_has_claim(NodeId id) const noexcept {
+      for (std::size_t i = 0; i < used; ++i) {
+        if (claims[i].senders.contains(id)) return true;
+      }
+      return false;
+    }
+    Claim* add(std::uint64_t hash, std::uint32_t n) {
+      if (used == kMaxClaimsPerSlot) return nullptr;
+      if (used == claims.size()) claims.push_back({});
+      Claim& c = claims[used++];
+      c.hash = hash;
+      c.senders.reset(n);
+      return &c;
+    }
   };
 
   SlotState* slot_state(Slot s, bool create);
   void start_slot(Slot s);
   void arm_timer(Slot s);
+  /// Re-arm a dormant (started, timer-less) slot; starts it if unknown.
+  void wake_slot(Slot s);
+  /// The next slot a view-0 fresh proposal would go to: first unfinalized
+  /// slot past the notarized suffix.
+  [[nodiscard]] Slot proposal_frontier() const {
+    return chain_.first_unfinalized() + chain_.notarized_suffix_length();
+  }
+  /// True when no *work* is pending anywhere this node can see: empty
+  /// mempool, no transaction-bearing (or content-unknown) proposal or
+  /// notarization at any unfinalized slot, and no view-change traffic newer
+  /// than the slots' current views. The pipeline's own filler momentum does
+  /// not count as work. Gated on max_slots == 0.
+  [[nodiscard]] bool idle_quiescent() const;
 
   void try_propose(Slot s);
   void try_vote(Slot s);
@@ -172,9 +287,9 @@ class MultishotNode : public sim::ProtocolNode {
   };
   [[nodiscard]] BatchDraft build_batch(View view);
   void commit_batch(BatchDraft& draft, Slot s, std::size_t payload_bytes);
-  /// True when a view-0 fresh proposal for `s` should wait for transactions
+  /// True when a view-0 fresh proposal should wait for transactions
   /// (batch_timeout armed / not yet expired). Arms the batch timer.
-  bool defer_for_batch(Slot s, SlotState& st);
+  bool defer_for_batch(SlotState& st);
   void cancel_batch_timer(SlotState& st);
   /// Mempool/commit bookkeeping for every finalized block regardless of the
   /// path (finalization rule or ChainInfo adoption).
@@ -184,19 +299,25 @@ class MultishotNode : public sim::ProtocolNode {
   MultishotConfig cfg_;
   QuorumParams qp_;
   ChainStore chain_;
-  std::map<Slot, SlotState> slots_;
-  std::map<sim::TimerId, Slot> timer_slots_;
-  std::map<sim::TimerId, Slot> batch_timer_slots_;
+  SlotWindow<SlotState> slots_{ChainStore::kWindow + 1, 1};
+  SlotWindow<ClaimSlab> chain_claims_{kClaimWindow + 1, 1};
   BoundedMempool mempool_;
   CommitHook commit_hook_;
-
-  // ChainInfo adoption claims: (slot, hash) -> claiming senders.
-  std::map<std::pair<Slot, std::uint64_t>, std::set<NodeId>> chain_claims_;
-  std::map<std::pair<Slot, std::uint64_t>, Block> claimed_blocks_;
+  /// Batch timers currently armed across the window (fast-path gate for the
+  /// submit_tx wake scan).
+  std::size_t batch_timers_armed_{0};
+  /// Set whenever idle suppression acted (a proposal was skipped or a timer
+  /// went dormant); consumed by submit_tx so the frontier wake scan only
+  /// runs when the pipeline may actually be stalled, never on the loaded
+  /// hot path.
+  bool idle_suppressed_{false};
 
   // Reusable encode scratch (see encode_ms_payload): grows once to the
   // high-water message size, then every encode is a single freeze.
   serde::Writer scratch_;
+  // Reusable scratch for view-change tallies and window sweeps.
+  std::vector<View> view_scratch_;
+  std::vector<Slot> slot_scratch_;
 
   bool record_timeline_{false};
   std::map<Slot, sim::SimTime> notarized_at_;

@@ -1,0 +1,269 @@
+#pragma once
+// Flat, windowed consensus-state containers (DESIGN_PERF.md "Consensus state
+// layer"). TetraBFT keeps protocol state only for a bounded window of
+// unfinalized slots (paper §6: bounded storage), which makes dense,
+// slot-indexed storage the natural layout: SlotWindow<T> is a ring buffer
+// keyed by slot whose state slabs recycle through a free list, so in steady
+// state (slots created at the tip, finalized slots pruned at the base)
+// consensus processing performs zero heap allocations -- the contract
+// bench_consensus asserts the same way bench_hotpath asserts the messaging
+// one.
+//
+// The companions replace the per-slot node-allocating containers the node
+// and ChainStore used:
+//   NodeBitmap  -- voter/claimer sets (was std::set<NodeId>),
+//   ViewHashMap -- bounded view -> block-hash maps (was std::map<View, u64>),
+//   VoteLedger  -- (view, hash) -> voter-set buckets
+//                  (was std::map<std::pair<View, u64>, std::set<NodeId>>).
+// All of them reuse their high-water storage across reset(), so a recycled
+// slab processes a fresh slot without touching the allocator.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace tbft::multishot {
+
+/// Dense set of node ids: one bit per node, size tracked incrementally.
+/// reset(n) re-sizes for an n-node cluster without shrinking capacity.
+class NodeBitmap {
+ public:
+  void reset(std::uint32_t n) {
+    words_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+    count_ = 0;
+  }
+
+  /// Set the bit for `id`; true when it was newly set.
+  bool insert(NodeId id) {
+    const std::size_t word = id >> 6;
+    TBFT_ASSERT(word < words_.size());
+    const std::uint64_t bit = 1ULL << (id & 63U);
+    if ((words_[word] & bit) != 0) return false;
+    words_[word] |= bit;
+    ++count_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(NodeId id) const noexcept {
+    const std::size_t word = id >> 6;
+    return word < words_.size() && (words_[word] & (1ULL << (id & 63U))) != 0;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t count_{0};
+};
+
+/// Bounded flat View -> block-hash map with first-write-wins semantics.
+/// Lookup is a linear scan over at most `max_entries` live entries; at the
+/// bound the lowest-view entry is displaced (defends per-slot state against
+/// Byzantine view-number spam; honest traffic uses a handful of views).
+class ViewHashMap {
+ public:
+  explicit ViewHashMap(std::size_t max_entries = 32) : max_(max_entries) {}
+
+  void reset() noexcept { used_ = 0; }
+
+  [[nodiscard]] const std::uint64_t* find(View view) const noexcept {
+    for (std::size_t i = 0; i < used_; ++i) {
+      if (entries_[i].view == view) return &entries_[i].hash;
+    }
+    return nullptr;
+  }
+
+  /// Insert (view, hash) unless the view already has a hash (first wins).
+  /// At the bound the lowest view is the evictee -- including the newcomer
+  /// itself when it is not above the current minimum (the std::map
+  /// insert-then-erase(begin()) semantics this replaces): low-view spam can
+  /// never displace a live higher-view entry.
+  bool try_emplace(View view, std::uint64_t hash) {
+    if (find(view) != nullptr) return false;
+    Entry* e;
+    if (used_ == max_) {
+      e = &entries_[0];
+      for (std::size_t i = 1; i < used_; ++i) {
+        if (entries_[i].view < e->view) e = &entries_[i];
+      }
+      if (view <= e->view) return false;  // the newcomer would be the evictee
+    } else {
+      if (used_ == entries_.size()) entries_.push_back({});
+      e = &entries_[used_++];
+    }
+    *e = Entry{view, hash};
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return used_; }
+
+ private:
+  struct Entry {
+    View view{kNoView};
+    std::uint64_t hash{0};
+  };
+
+  std::size_t max_;
+  std::vector<Entry> entries_;
+  std::size_t used_{0};
+};
+
+/// Flat (view, hash) -> voter-set ledger. Buckets (and their bitmap words)
+/// are reused across reset(); at the bound the lowest (view, hash) bucket is
+/// recycled, mirroring the std::map begin()-eviction it replaces.
+class VoteLedger {
+ public:
+  explicit VoteLedger(std::size_t max_buckets = 128) : max_(max_buckets) {}
+
+  void reset() noexcept { used_ = 0; }
+
+  /// The voter set for (view, hash), created on first touch (sized for an
+  /// n-node cluster). At the bound the lowest (view, hash) bucket is the
+  /// evictee -- and when the newcomer itself is lowest, it gets a throwaway
+  /// set instead (matching the std::map insert-then-erase(begin()) it
+  /// replaces): stale-view spam can never recycle a live tally.
+  NodeBitmap& voters(View view, std::uint64_t hash, std::uint32_t n) {
+    for (std::size_t i = 0; i < used_; ++i) {
+      Bucket& b = buckets_[i];
+      if (b.view == view && b.hash == hash) return b.voters;
+    }
+    Bucket* b;
+    if (used_ == max_) {
+      b = &buckets_[0];
+      for (std::size_t i = 1; i < used_; ++i) {
+        if (std::make_pair(buckets_[i].view, buckets_[i].hash) <
+            std::make_pair(b->view, b->hash)) {
+          b = &buckets_[i];
+        }
+      }
+      if (std::make_pair(view, hash) < std::make_pair(b->view, b->hash)) {
+        discard_.reset(n);  // the newcomer would be the evictee
+        return discard_;
+      }
+    } else {
+      if (used_ == buckets_.size()) buckets_.push_back({});
+      b = &buckets_[used_++];
+    }
+    b->view = view;
+    b->hash = hash;
+    b->voters.reset(n);
+    return b->voters;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return used_; }
+
+ private:
+  struct Bucket {
+    View view{kNoView};
+    std::uint64_t hash{0};
+    NodeBitmap voters;
+  };
+
+  std::size_t max_;
+  std::vector<Bucket> buckets_;
+  std::size_t used_{0};
+  NodeBitmap discard_;  // sink for below-minimum keys at the bound
+};
+
+/// Ring buffer keyed by slot over the window [base, base + capacity).
+///
+/// Slabs are allocated once (peak occupancy, see slab_count()) and recycle
+/// through a free list as the base advances past finalized slots, so
+/// steady-state create/find/evict touches the allocator only until the
+/// high-water mark is reached. T must be default-constructible with a
+/// `void reset()` that restores the default-constructed *logical* state while
+/// keeping internal container capacity (reset() is invoked when a recycled
+/// slab is handed out; fresh slabs are default-constructed).
+template <class T>
+class SlotWindow {
+ public:
+  explicit SlotWindow(std::size_t capacity, Slot base = 1)
+      : cap_(capacity), base_(base), ring_(capacity, nullptr) {
+    TBFT_ASSERT(capacity > 0);
+  }
+
+  [[nodiscard]] Slot base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] bool in_window(Slot s) const noexcept {
+    return s >= base_ && s < base_ + cap_;
+  }
+  [[nodiscard]] std::size_t occupied() const noexcept { return occupied_; }
+  /// Slabs ever allocated == peak concurrent occupancy (bounded-storage
+  /// diagnostic, mirrors Simulation::timer_slot_count()).
+  [[nodiscard]] std::size_t slab_count() const noexcept { return slabs_.size(); }
+
+  [[nodiscard]] T* find(Slot s) noexcept {
+    return in_window(s) ? ring_[s % cap_] : nullptr;
+  }
+  [[nodiscard]] const T* find(Slot s) const noexcept {
+    return in_window(s) ? ring_[s % cap_] : nullptr;
+  }
+
+  /// The slab for `s`, created on first touch (recycled slabs are reset()).
+  /// nullptr when `s` lies outside the window.
+  T* ensure(Slot s) {
+    if (!in_window(s)) return nullptr;
+    T*& cell = ring_[s % cap_];
+    if (cell == nullptr) {
+      if (free_.empty()) {
+        slabs_.push_back(std::make_unique<T>());
+        cell = slabs_.back().get();
+      } else {
+        cell = free_.back();
+        free_.pop_back();
+        cell->reset();
+      }
+      ++occupied_;
+    }
+    return cell;
+  }
+
+  /// Advance the base (monotone), evicting every occupied slot < new_base.
+  /// `evict(slot, T&)` runs before the slab returns to the free list.
+  template <class Fn>
+  void advance_base(Slot new_base, Fn&& evict) {
+    if (new_base <= base_) return;
+    const Slot stop = std::min(new_base, base_ + cap_);
+    for (Slot s = base_; s < stop; ++s) {
+      T*& cell = ring_[s % cap_];
+      if (cell != nullptr) {
+        evict(s, *cell);
+        free_.push_back(cell);
+        cell = nullptr;
+        --occupied_;
+      }
+    }
+    base_ = new_base;
+  }
+  void advance_base(Slot new_base) {
+    advance_base(new_base, [](Slot, T&) {});
+  }
+
+  /// Visit occupied slots in ascending slot order.
+  template <class Fn>
+  void for_each(Fn&& fn) {
+    for (Slot s = base_; s < base_ + cap_; ++s) {
+      if (T* cell = ring_[s % cap_]; cell != nullptr) fn(s, *cell);
+    }
+  }
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (Slot s = base_; s < base_ + cap_; ++s) {
+      if (const T* cell = ring_[s % cap_]; cell != nullptr) fn(s, *cell);
+    }
+  }
+
+ private:
+  std::size_t cap_;
+  Slot base_;
+  std::vector<T*> ring_;  // index = slot % cap_; nullptr = unoccupied
+  std::vector<std::unique_ptr<T>> slabs_;
+  std::vector<T*> free_;
+  std::size_t occupied_{0};
+};
+
+}  // namespace tbft::multishot

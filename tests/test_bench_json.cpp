@@ -1,0 +1,70 @@
+// The shared BENCH_*.json writer must emit strict JSON under every input:
+// non-finite doubles (inf/nan from zero-event smoke runs) become null, and
+// strings are escaped. Every bench routes through this one helper, so this
+// is the regression gate for the "BENCH files must parse" contract.
+
+#include "bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace tbft::bench {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(BenchJson, NonFiniteDoublesBecomeNull) {
+  JsonReport report("jsontest");
+  report.field("ok_double", 1.5)
+      .field("a", std::numeric_limits<double>::infinity())
+      .field("b", -std::numeric_limits<double>::infinity())
+      .field("c", std::numeric_limits<double>::quiet_NaN())
+      .field("d", -std::numeric_limits<double>::quiet_NaN())
+      .field("count", std::uint64_t{42});
+  ASSERT_TRUE(report.write());
+
+  const std::string text = slurp("BENCH_jsontest.json");
+  std::remove("BENCH_jsontest.json");
+  ASSERT_FALSE(text.empty());
+
+  // The value literals that used to leak into the files must be gone ...
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  // ... replaced by JSON null, with finite values untouched.
+  EXPECT_NE(text.find("\"a\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"b\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"c\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"d\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"ok_double\": 1.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"count\": 42"), std::string::npos) << text;
+}
+
+TEST(BenchJson, EscapesStringsAndBalancesBraces) {
+  JsonReport report("jsontest2");
+  report.field("quoted", "a \"b\" \\ c\nd");
+  ASSERT_TRUE(report.write());
+  const std::string text = slurp("BENCH_jsontest2.json");
+  std::remove("BENCH_jsontest2.json");
+
+  EXPECT_NE(text.find("a \\\"b\\\" \\\\ c\\nd"), std::string::npos) << text;
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_EQ(text[text.size() - 2], '}');  // trailing newline after the brace
+  // No raw control characters inside the emitted JSON.
+  for (char ch : text) {
+    if (ch == '\n') continue;  // pretty-printing newlines between fields
+    EXPECT_GE(static_cast<unsigned char>(ch), 0x20u);
+  }
+}
+
+}  // namespace
+}  // namespace tbft::bench

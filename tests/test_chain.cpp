@@ -162,6 +162,142 @@ TEST(Chain, FinalizationPrunesPendingState) {
   EXPECT_EQ(c.find_block(1, mk(1, kGenesisHash, 3).hash()), nullptr);
 }
 
+TEST(Chain, WindowEdgeSlotsAcceptedRejectedExactly) {
+  // The acceptance window is [first_unfinalized, first_unfinalized+kWindow]:
+  // both edges inclusive, one past the upper edge rejected, anything
+  // finalized (below the lower edge) rejected.
+  ChainStore c;
+  EXPECT_TRUE(c.add_block(mk(1, kGenesisHash)));                       // lower edge
+  EXPECT_TRUE(c.add_block(mk(ChainStore::kWindow + 1, 0xFA4)));       // upper edge
+  EXPECT_FALSE(c.add_block(mk(ChainStore::kWindow + 2, 0xFA4)));      // past it
+  EXPECT_FALSE(c.notarize(ChainStore::kWindow + 2, 0, 0xFA4));        // votes too
+
+  Block b1 = mk(1, kGenesisHash);
+  ASSERT_TRUE(c.force_finalize(b1));
+  // Slot 1 is finalized: candidates for it are refused, and the window
+  // slides so the new upper edge admits one more slot.
+  EXPECT_FALSE(c.add_block(mk(1, kGenesisHash, 7)));
+  EXPECT_FALSE(c.notarize(1, 5, 0xABC));
+  EXPECT_TRUE(c.add_block(mk(ChainStore::kWindow + 2, 0xFA4)));
+  EXPECT_FALSE(c.add_block(mk(ChainStore::kWindow + 3, 0xFA4)));
+}
+
+TEST(Chain, AdoptionExtendingTipSlidesWindowAndPrunes) {
+  ChainStore c;
+  // Stale candidates and a notarization for slot 1, plus a far-ahead
+  // candidate that stays live after the slide.
+  Block b1 = mk(1, kGenesisHash);
+  Block rival = mk(1, kGenesisHash, 3);
+  Block ahead = mk(5, 0xAAA);
+  ASSERT_TRUE(c.add_block(b1));
+  ASSERT_TRUE(c.add_block(rival));
+  ASSERT_TRUE(c.add_block(ahead));
+  ASSERT_TRUE(c.notarize(1, 0, b1.hash()));
+
+  // Adoption at the first unfinalized slot (the ChainInfo path).
+  ASSERT_TRUE(c.force_finalize(b1));
+  EXPECT_EQ(c.first_unfinalized(), 2u);
+  EXPECT_EQ(c.find_block(1, rival.hash()), nullptr);  // pruned with the slide
+  EXPECT_NE(c.find_block(5, ahead.hash()), nullptr);  // still in the window
+  EXPECT_EQ(c.pending_entries(), 1u);
+
+  // Adoption must keep extending the tip exactly.
+  Block gap = mk(4, b1.hash());
+  EXPECT_FALSE(c.force_finalize(gap));            // slot gap
+  EXPECT_FALSE(c.force_finalize(mk(2, 0xBAD)));   // wrong parent
+  EXPECT_TRUE(c.force_finalize(mk(2, b1.hash())));
+}
+
+TEST(Chain, RequiredParentAtWindowBoundaries) {
+  ChainStore c;
+  // Slot 1 extends genesis; unknown slots have no required parent yet.
+  EXPECT_EQ(c.required_parent(1), kGenesisHash);
+  EXPECT_EQ(c.required_parent(2), std::nullopt);
+  EXPECT_EQ(c.required_parent(ChainStore::kWindow + 5), std::nullopt);
+
+  Block b1 = mk(1, kGenesisHash);
+  ASSERT_TRUE(c.force_finalize(b1));
+  // A finalized predecessor answers from the chain, not the window.
+  EXPECT_EQ(c.required_parent(2), b1.hash());
+
+  Block b2 = mk(2, b1.hash());
+  ASSERT_TRUE(c.add_block(b2));
+  ASSERT_TRUE(c.notarize(2, 0, b2.hash()));
+  EXPECT_EQ(c.required_parent(3), b2.hash());
+}
+
+TEST(Chain, CandidateBoundDisplacesUnderEquivocationFlood) {
+  ChainStore c;
+  for (std::size_t i = 0; i < ChainStore::kMaxCandidatesPerSlot; ++i) {
+    EXPECT_TRUE(c.add_block(mk(1, kGenesisHash, static_cast<NodeId>(i))));
+  }
+  c.notarize(1, 0, mk(1, kGenesisHash, 0).hash());
+  // Past the bound new candidates are still accepted (a refusal would brick
+  // the slot after enough failed views), displacing the oldest candidate --
+  // but never the notarized block's content.
+  const Block overflow =
+      mk(1, kGenesisHash, static_cast<NodeId>(ChainStore::kMaxCandidatesPerSlot));
+  EXPECT_TRUE(c.add_block(overflow));
+  EXPECT_NE(c.find_block(1, overflow.hash()), nullptr);
+  EXPECT_NE(c.find_block(1, mk(1, kGenesisHash, 0).hash()), nullptr);  // notarized, spared
+  EXPECT_EQ(c.find_block(1, mk(1, kGenesisHash, 1).hash()), nullptr);  // displaced
+  // Displacement rotates: the next overflow evicts a *different* victim,
+  // leaving the block just admitted in place (spam cannot repeatedly evict
+  // the most recent live candidate).
+  const Block overflow2 =
+      mk(1, kGenesisHash, static_cast<NodeId>(ChainStore::kMaxCandidatesPerSlot + 1));
+  EXPECT_TRUE(c.add_block(overflow2));
+  EXPECT_NE(c.find_block(1, overflow2.hash()), nullptr);
+  EXPECT_NE(c.find_block(1, overflow.hash()), nullptr);                // still stored
+  EXPECT_EQ(c.find_block(1, mk(1, kGenesisHash, 2).hash()), nullptr);  // next victim
+  // Live state stays at the bound (+1 notarization).
+  EXPECT_EQ(c.pending_entries(), ChainStore::kMaxCandidatesPerSlot + 1);
+}
+
+TEST(Chain, LongRunLiveStateStaysBoundedByWindow) {
+  // Finalize a long chain through the ring; live state (pending entries and
+  // slabs ever allocated) must stay bounded by the window, not the chain.
+  ChainStore c;
+  std::uint64_t parent = kGenesisHash;
+  for (Slot s = 1; s <= 2000; ++s) {
+    Block b = mk(s, parent);
+    parent = b.hash();
+    ASSERT_TRUE(c.add_block(b)) << "slot " << s;
+    ASSERT_TRUE(c.notarize(s, 0, b.hash()));
+    c.try_finalize();
+    ASSERT_LE(c.pending_entries(), 8u) << "slot " << s;
+  }
+  EXPECT_EQ(c.finalized_chain().size(), 1997u);  // depth-4 tail stays pending
+  EXPECT_LE(c.window_slabs(), ChainStore::kWindow + 1);
+  // The survivors are exactly the 3-slot notarized tail the depth-4 rule
+  // cannot finalize yet.
+  EXPECT_EQ(c.notarized_suffix_length(), 3u);
+}
+
+TEST(Chain, FillerVsTransactionBlocksReportPendingTxs) {
+  ChainStore c;
+  // A filler payload (nonce + zero padding) has no pending transactions.
+  Block filler = mk(1, kGenesisHash);
+  filler.payload = {0, 0, 0, 0, 0, 0, 0, 0};
+  ASSERT_TRUE(c.add_block(filler));
+  ASSERT_TRUE(c.notarize(1, 0, filler.hash()));
+  EXPECT_FALSE(c.slot_has_pending_txs(1));
+
+  // A batched payload (nonce + one length-prefixed frame) is pending work.
+  Block txful = mk(2, filler.hash());
+  txful.payload = {0, 3, 0xAA, 0xBB, 0xCC};
+  ASSERT_TRUE(c.add_block(txful));
+  ASSERT_TRUE(c.notarize(2, 0, txful.hash()));
+  EXPECT_TRUE(c.slot_has_pending_txs(2));
+
+  // A notarization whose block content is unknown is conservatively pending.
+  ASSERT_TRUE(c.notarize(3, 0, 0xDEAD));
+  EXPECT_TRUE(c.slot_has_pending_txs(3));
+  // Unnotarized or out-of-window slots are not.
+  EXPECT_FALSE(c.slot_has_pending_txs(4));
+  EXPECT_FALSE(c.slot_has_pending_txs(ChainStore::kWindow + 10));
+}
+
 TEST(Chain, NotarizedFinalizedSlotReportsChainHash) {
   ChainStore c;
   Block b1 = mk(1, kGenesisHash);

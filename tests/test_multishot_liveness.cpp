@@ -45,9 +45,16 @@ TEST(MultishotLiveness, LongRunStaysConsistentAndBounded) {
   auto c = make_ms_cluster(opts);
   ASSERT_TRUE(c.run_until_finalized(90, 60 * c.timeout()));
   EXPECT_TRUE(c.chains_consistent());
-  // Pending (unfinalized) protocol state stays within the pipeline window.
+  // Pending (unfinalized) protocol state stays within the pipeline window,
+  // and so does the flat state layer's slab count: a 100-slot run must not
+  // have allocated more slot slabs than the window admits -- state recycles
+  // instead of accumulating (DESIGN_PERF.md "Consensus state layer").
   for (auto* n : c.nodes) {
     EXPECT_LT(n->chain().pending_entries(), 64u);
+    EXPECT_LE(n->chain().window_slabs(), multishot::ChainStore::kWindow + 1);
+    EXPECT_LE(n->slot_slabs(), multishot::ChainStore::kWindow + 1);
+    // The good case keeps far fewer slots live than the Byzantine bound.
+    EXPECT_LE(n->slot_slabs(), 16u);
   }
 }
 

@@ -1,0 +1,172 @@
+// Unit tests for the flat consensus-state containers (slot_window.hpp):
+// SlotWindow ring semantics and slab recycling, NodeBitmap, ViewHashMap and
+// VoteLedger bounds -- the building blocks of the allocation-free state
+// layer (DESIGN_PERF.md "Consensus state layer").
+
+#include "multishot/slot_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tbft::multishot {
+namespace {
+
+struct Slab {
+  int value{0};
+  std::vector<int> payload;
+  int resets{0};
+
+  void reset() {
+    value = 0;
+    payload.clear();  // capacity survives, like the real slabs
+    ++resets;
+  }
+};
+
+TEST(SlotWindow, FindAndEnsureRespectTheWindow) {
+  SlotWindow<Slab> w(4, 1);  // slots 1..4
+  EXPECT_EQ(w.find(1), nullptr);
+  EXPECT_EQ(w.ensure(0), nullptr);
+  EXPECT_EQ(w.ensure(5), nullptr);
+
+  Slab* s2 = w.ensure(2);
+  ASSERT_NE(s2, nullptr);
+  s2->value = 22;
+  EXPECT_EQ(w.find(2), s2);
+  EXPECT_EQ(w.ensure(2), s2);  // idempotent
+  EXPECT_EQ(w.occupied(), 1u);
+  EXPECT_EQ(w.find(3), nullptr);
+}
+
+TEST(SlotWindow, AdvanceEvictsInOrderAndRecyclesSlabs) {
+  SlotWindow<Slab> w(4, 1);
+  for (Slot s = 1; s <= 4; ++s) w.ensure(s)->value = static_cast<int>(s);
+  EXPECT_EQ(w.slab_count(), 4u);
+
+  std::vector<Slot> evicted;
+  w.advance_base(3, [&](Slot s, Slab& slab) {
+    evicted.push_back(s);
+    EXPECT_EQ(slab.value, static_cast<int>(s));
+  });
+  EXPECT_EQ(evicted, (std::vector<Slot>{1, 2}));
+  EXPECT_EQ(w.base(), 3u);
+  EXPECT_EQ(w.occupied(), 2u);
+  EXPECT_EQ(w.find(2), nullptr);  // behind the base
+  EXPECT_EQ(w.find(3)->value, 3);
+
+  // New slots reuse evicted slabs (no new allocations) and arrive reset.
+  Slab* s5 = w.ensure(5);
+  ASSERT_NE(s5, nullptr);
+  EXPECT_EQ(s5->value, 0);
+  EXPECT_EQ(s5->resets, 1);
+  w.ensure(6);
+  EXPECT_EQ(w.slab_count(), 4u);  // peak occupancy, not total slots touched
+}
+
+TEST(SlotWindow, SlabCountStaysAtPeakOverLongAdvance) {
+  SlotWindow<Slab> w(8, 1);
+  for (Slot s = 1; s <= 1000; ++s) {
+    ASSERT_NE(w.ensure(s), nullptr) << "slot " << s;
+    if (s >= 4) w.advance_base(s - 3);  // keep 4 slots live
+  }
+  EXPECT_LE(w.slab_count(), 8u);
+  EXPECT_EQ(w.occupied(), 4u);
+}
+
+TEST(SlotWindow, ForEachVisitsOccupiedSlotsAscending) {
+  SlotWindow<Slab> w(6, 10);
+  w.ensure(14);
+  w.ensure(10);
+  w.ensure(12);
+  std::vector<Slot> seen;
+  w.for_each([&](Slot s, Slab&) { seen.push_back(s); });
+  EXPECT_EQ(seen, (std::vector<Slot>{10, 12, 14}));
+}
+
+TEST(SlotWindow, AdvancePastEverythingEmptiesTheWindow) {
+  SlotWindow<Slab> w(4, 1);
+  for (Slot s = 1; s <= 4; ++s) w.ensure(s);
+  w.advance_base(100);
+  EXPECT_EQ(w.occupied(), 0u);
+  EXPECT_EQ(w.base(), 100u);
+  ASSERT_NE(w.ensure(101), nullptr);
+  EXPECT_EQ(w.slab_count(), 4u);
+}
+
+TEST(NodeBitmap, InsertCountContains) {
+  NodeBitmap b;
+  b.reset(70);  // spans two words
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.insert(0));
+  EXPECT_TRUE(b.insert(69));
+  EXPECT_FALSE(b.insert(69));  // duplicate
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_TRUE(b.contains(0));
+  EXPECT_TRUE(b.contains(69));
+  EXPECT_FALSE(b.contains(33));
+
+  b.reset(70);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.contains(69));
+}
+
+TEST(ViewHashMap, FirstWriteWinsAndBoundHolds) {
+  ViewHashMap m(3);
+  EXPECT_TRUE(m.try_emplace(5, 0x55));
+  EXPECT_FALSE(m.try_emplace(5, 0x56));  // first proposal per view wins
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(*m.find(5), 0x55u);
+  EXPECT_EQ(m.find(6), nullptr);
+
+  EXPECT_TRUE(m.try_emplace(1, 0x11));
+  EXPECT_TRUE(m.try_emplace(9, 0x99));
+  EXPECT_EQ(m.size(), 3u);
+  // At the bound the lowest view is displaced.
+  EXPECT_TRUE(m.try_emplace(7, 0x77));
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.find(1), nullptr);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 0x77u);
+  // A newcomer below the current minimum is itself the evictee: low-view
+  // spam cannot displace live entries.
+  EXPECT_FALSE(m.try_emplace(2, 0x22));
+  EXPECT_EQ(m.find(2), nullptr);
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(m.size(), 3u);
+
+  m.reset();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(5), nullptr);
+}
+
+TEST(VoteLedger, AccumulatesPerViewHashAndStaysBounded) {
+  VoteLedger ledger(4);
+  NodeBitmap& v = ledger.voters(0, 0xAA, 8);
+  EXPECT_TRUE(v.insert(1));
+  EXPECT_TRUE(v.insert(2));
+  // Same key returns the same accumulating set.
+  EXPECT_EQ(ledger.voters(0, 0xAA, 8).count(), 2u);
+  EXPECT_FALSE(ledger.voters(0, 0xAA, 8).insert(2));
+
+  // Fill to the bound with distinct keys; a higher overflow key recycles
+  // the lowest (view, hash) bucket.
+  ledger.voters(1, 0x01, 8).insert(1);
+  ledger.voters(2, 0x02, 8).insert(1);
+  ledger.voters(3, 0x03, 8).insert(1);
+  EXPECT_EQ(ledger.size(), 4u);
+  NodeBitmap& overflow = ledger.voters(9, 0x09, 8);
+  EXPECT_EQ(ledger.size(), 4u);
+  EXPECT_EQ(overflow.count(), 0u);  // fresh set, recycled storage
+  // A below-minimum key gets a throwaway set: stale-view spam never
+  // recycles a live tally, and its votes never accumulate.
+  ledger.voters(0, 0xAA, 8).insert(3);
+  EXPECT_EQ(ledger.voters(0, 0xAA, 8).count(), 0u);
+  EXPECT_EQ(ledger.voters(1, 0x01, 8).count(), 1u);  // live tallies intact
+  EXPECT_EQ(ledger.voters(9, 0x09, 8).count(), 0u);
+  EXPECT_EQ(ledger.size(), 4u);
+}
+
+}  // namespace
+}  // namespace tbft::multishot
