@@ -45,11 +45,11 @@ void run_fig3() {
     const auto p = node->first_proposal_at().find(s);
     const auto nt = node->notarized_at().find(s);
     const auto fin = c.sim->trace().decision_of(0, s);
-    const auto& chain = node->finalized_chain();
-    const auto proposer = s <= chain.size() ? static_cast<long long>(chain[s - 1].proposer) : -1;
+    const multishot::Block* blk = node->block_at(s);
+    const auto proposer = blk != nullptr ? static_cast<long long>(blk->proposer) : -1;
     std::printf("%6llu %8lld %15.1f %15.1f %15.1f %10lld\n",
                 static_cast<unsigned long long>(s),
-                static_cast<long long>(s <= chain.size() ? 0 : node->view_of(s)),
+                static_cast<long long>(s <= node->finalized_count() ? 0 : node->view_of(s)),
                 p != node->first_proposal_at().end() ? p->second / ms : -1.0,
                 nt != node->notarized_at().end() ? nt->second / ms : -1.0,
                 fin ? fin->at / ms : -1.0, proposer);

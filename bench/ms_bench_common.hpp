@@ -27,15 +27,15 @@ struct MsCluster {
   std::vector<multishot::MultishotNode*> nodes;
   multishot::MultishotConfig cfg;
 
-  [[nodiscard]] std::size_t min_finalized() const {
-    std::size_t len = SIZE_MAX;
+  [[nodiscard]] Slot min_finalized() const {
+    Slot len = UINT64_MAX;
     for (const auto* n : nodes) {
-      if (n != nullptr) len = std::min(len, n->finalized_chain().size());
+      if (n != nullptr) len = std::min(len, n->finalized_count());
     }
-    return len == SIZE_MAX ? 0 : len;
+    return len == UINT64_MAX ? 0 : len;
   }
 
-  bool run_until_finalized(std::size_t target, sim::SimTime deadline) {
+  bool run_until_finalized(Slot target, sim::SimTime deadline) {
     return sim->run_until_pred([this, target] { return min_finalized() >= target; }, deadline);
   }
 };

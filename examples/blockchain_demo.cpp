@@ -44,15 +44,18 @@ int main() {
   simulation.run_until_pred(
       [&] {
         for (auto* n : nodes) {
-          if (n->finalized_chain().size() < 12) return false;
+          if (n->finalized_count() < 12) return false;
         }
         return true;
       },
       10 * sim::kSecond);
 
-  const auto& chain = nodes[0]->finalized_chain();
-  std::printf("finalized chain at node 0 (%zu blocks):\n", chain.size());
-  for (const auto& b : chain) {
+  const multishot::MultishotNode* node0 = nodes[0];
+  const Slot count = node0->finalized_count();
+  std::printf("finalized chain at node 0 (%llu blocks):\n",
+              static_cast<unsigned long long>(count));
+  for (Slot s = node0->chain().tail_first(); s <= count; ++s) {
+    const multishot::Block& b = *node0->block_at(s);
     std::printf("  slot %2llu  proposer %u  payload %3zu B  hash %016llx  parent %016llx\n",
                 static_cast<unsigned long long>(b.slot), b.proposer, b.payload.size(),
                 static_cast<unsigned long long>(b.hash()),
@@ -69,17 +72,11 @@ int main() {
   }
 
   // Consistency check across nodes (Definition 2 of the paper).
-  bool consistent = true;
-  for (auto* n : nodes) {
-    const auto& other = n->finalized_chain();
-    for (std::size_t i = 0; i < std::min(chain.size(), other.size()); ++i) {
-      if (!(chain[i] == other[i])) consistent = false;
-    }
-  }
+  const bool consistent = multishot::chains_prefix_consistent(nodes);
   std::printf("\nchains prefix-consistent across all nodes: %s\n", consistent ? "yes" : "NO");
-  std::printf("throughput: %zu blocks in %lld ms of simulated time (1 block per delay)\n",
-              chain.size(),
-              static_cast<long long>(simulation.trace().decision_of(0, chain.size())->at /
+  std::printf("throughput: %llu blocks in %lld ms of simulated time (1 block per delay)\n",
+              static_cast<unsigned long long>(count),
+              static_cast<long long>(simulation.trace().decision_of(0, count)->at /
                                      sim::kMillisecond));
   return 0;
 }

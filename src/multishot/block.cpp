@@ -5,16 +5,8 @@ namespace tbft::multishot {
 std::vector<std::span<const std::uint8_t>> payload_frames(
     std::span<const std::uint8_t> payload) {
   std::vector<std::span<const std::uint8_t>> frames;
-  serde::Reader r(payload);
-  r.varint();  // view nonce
-  while (r.ok() && !r.at_end()) {
-    const auto f = r.bytes_view();
-    if (!r.ok()) break;
-    // Zero-length "frames" are filler padding (zero bytes parse as empty
-    // bytes()), never transactions -- the mempool rejects empty submissions,
-    // so skipping them here keeps padding from aliasing real entries.
-    if (!f.empty()) frames.push_back(f);
-  }
+  for_each_frame(payload,
+                 [&frames](std::span<const std::uint8_t> f) { frames.push_back(f); });
   return frames;
 }
 

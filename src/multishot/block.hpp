@@ -63,4 +63,23 @@ std::vector<std::span<const std::uint8_t>> payload_frames(
 /// tell filler blocks from transaction-bearing ones.
 [[nodiscard]] bool payload_has_frames(std::span<const std::uint8_t> payload);
 
+/// Visit every non-empty transaction frame of `payload` without building a
+/// vector: the one definition of the framing walk -- payload_frames layers
+/// on it, the commit index uses it directly at finalization time (filler
+/// payloads walk zero frames at zero cost). Zero-length "frames" are filler
+/// padding (zero bytes parse as empty bytes()), never transactions -- the
+/// mempool rejects empty submissions, so skipping them keeps padding from
+/// aliasing real entries. payload_has_frames above is the only other copy
+/// of the walk, kept separate for its early exit on the hot path.
+template <class Fn>
+void for_each_frame(std::span<const std::uint8_t> payload, Fn&& fn) {
+  serde::Reader r(payload);
+  r.varint();  // view nonce
+  while (r.ok() && !r.at_end()) {
+    const auto f = r.bytes_view();
+    if (!r.ok()) return;
+    if (!f.empty()) fn(f);
+  }
+}
+
 }  // namespace tbft::multishot

@@ -21,7 +21,7 @@ bool ChainStore::add_block(const Block& b) {
     // the most recently admitted (live) candidate. The notarized block's
     // content is always spared -- the finalization rule may still need it.
     // Displaced content, if it ever wins, is recoverable through the usual
-    // content-unknown paths (re-proposal, ChainInfo).
+    // content-unknown paths (re-proposal, ChainInfo, range sync).
     std::size_t victim = e->next_victim % kMaxCandidatesPerSlot;
     if (e->has_notarization && e->candidates[victim].hash == e->notar.hash) {
       victim = (victim + 1) % kMaxCandidatesPerSlot;
@@ -36,7 +36,7 @@ bool ChainStore::add_block(const Block& b) {
   c.hash = h;
   c.has_txs = payload_has_frames(b.payload);
   // Copy-assign reuses whatever payload capacity the recycled slot kept.
-  // (The winning candidate's buffer moves into the finalized chain at
+  // (The winning candidate's buffer moves into the finalized tail at
   // try_finalize, so a payload-bearing slot costs one buffer allocation per
   // finalization cycle -- that is the inherent cost of retaining the chain
   // data, not state-layer bookkeeping; see the zero-alloc scope note in
@@ -64,14 +64,24 @@ bool ChainStore::notarize(Slot slot, View view, std::uint64_t hash) {
 
 bool ChainStore::force_finalize(const Block& b) {
   if (b.slot != first_unfinalized() || b.parent_hash != finalized_tip_hash()) return false;
-  chain_.push_back(b);
+  store_.append(Block{b});
+  // Notify after the append (the block is resident at the tip) but with the
+  // caller's copy: the hook may re-enter the node (commit hooks drive
+  // closed-loop clients), which must observe the advanced chain.
+  if (on_finalized_) on_finalized_(b);
   prune_finalized();
   return true;
 }
 
 std::optional<Notarization> ChainStore::notarized(Slot slot) const {
   if (slot == 0) return Notarization{0, kGenesisHash};
-  if (is_finalized(slot)) return Notarization{0, chain_[slot - 1].hash()};
+  if (is_finalized(slot)) {
+    // Finalized slots answer with the chain's hash while the block is still
+    // resident; compacted history can no longer be cited per slot.
+    const Block* b = store_.block_at(slot);
+    if (b == nullptr) return std::nullopt;
+    return Notarization{0, b->hash()};
+  }
   const SlotEntry* e = window_.find(slot);
   if (e == nullptr || !e->has_notarization) return std::nullopt;
   return e->notar;
@@ -113,9 +123,14 @@ std::size_t ChainStore::try_finalize() {
     Candidate* c = e->find(n->hash);
     TBFT_ASSERT(c != nullptr);
     // Move, don't copy: the slot is pruned right below, and the payload
-    // bytes need to live on in the finalized chain anyway.
-    chain_.push_back(std::move(c->block));
+    // bytes need to live on in the finalized tail anyway.
+    store_.append(std::move(c->block));
     ++finalized;
+    // Notify per block while it is guaranteed resident (one append at a
+    // time, so even a burst larger than the tail sees each block before
+    // compaction). The hook may re-enter the node -- candidate pointers are
+    // dead by now and the loop re-derives its state every iteration.
+    if (on_finalized_) on_finalized_(*store_.block_at(s));
   }
   if (finalized > 0) prune_finalized();
   return finalized;

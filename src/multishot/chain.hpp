@@ -4,26 +4,34 @@
 // finalization rule -- the first block of four consecutively notarized,
 // parent-linked blocks is finalized together with its prefix (paper §6.1).
 //
-// Storage discipline: finalized blocks are compacted into the output chain;
-// candidate/notarization state lives in a flat SlotWindow ring over the
-// bounded window of unfinalized slots (slot_window.hpp). Slot slabs and the
-// candidate blocks inside them recycle as the window advances, so
-// steady-state add/notarize/finalize/prune performs zero heap allocations
-// once the high-water mark is reached (asserted by bench_consensus).
+// Storage discipline: candidate/notarization state lives in a flat
+// SlotWindow ring over the bounded window of unfinalized slots
+// (slot_window.hpp); finalized blocks move into a FinalizedStore
+// (finalized_store.hpp) -- a bounded tail of recent blocks behind a
+// compaction checkpoint plus a commit index -- so block storage is
+// O(window + tail), never O(history) (only the commit digest set grows
+// with committed transactions; see finalized_store.hpp). Slot slabs and
+// the candidate blocks
+// inside them recycle as the window advances, so steady-state
+// add/notarize/finalize/prune performs zero heap allocations once the
+// high-water mark is reached (asserted by bench_consensus; bench_storage
+// asserts the bounded finalized side).
 //
 // Zero-alloc scope: the contract covers the state-layer *bookkeeping*
 // (candidates, notarizations, vote tallies, pruning). Retaining a
-// payload-bearing block's bytes in the ever-growing finalized chain is
-// inherent data storage and costs one buffer allocation per finalization
-// cycle regardless of layout (the winning buffer moves into the chain and
-// the recycled slot re-grows on its next use); bench_consensus therefore
-// drives the layer with empty payloads to isolate exactly the bookkeeping.
+// payload-bearing block's bytes in the finalized tail is inherent data
+// storage and costs one buffer allocation per finalization cycle regardless
+// of layout (the winning buffer moves into the tail and the recycled slot
+// re-grows on its next use); bench_consensus therefore drives the layer
+// with empty payloads to isolate exactly the bookkeeping.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "multishot/block.hpp"
+#include "multishot/finalized_store.hpp"
 #include "multishot/slot_window.hpp"
 
 namespace tbft::multishot {
@@ -35,7 +43,8 @@ struct Notarization {
 
 class ChainStore {
  public:
-  ChainStore() : window_(kWindow + 1, 1) {}
+  explicit ChainStore(std::size_t tail_capacity = FinalizedStore::kDefaultTailCapacity)
+      : window_(kWindow + 1, 1), store_(tail_capacity) {}
 
   /// Remember a candidate block (from a proposal). Returns false when the
   /// slot is outside the acceptance window (finalized or too far ahead).
@@ -52,8 +61,8 @@ class ChainStore {
   /// notarization state changed. Slots outside the window are refused.
   bool notarize(Slot slot, View view, std::uint64_t hash);
 
-  /// Adopt a finalized block learned through f+1 matching ChainInfo claims;
-  /// must extend the current finalized tip at the first unfinalized slot.
+  /// Adopt a finalized block learned through f+1 matching claims; must
+  /// extend the current finalized tip at the first unfinalized slot.
   /// Returns false (and does nothing) otherwise.
   bool force_finalize(const Block& b);
 
@@ -64,16 +73,46 @@ class ChainStore {
   [[nodiscard]] std::optional<std::uint64_t> required_parent(Slot slot) const;
 
   /// Run the finalization rule; newly finalized blocks are appended to the
-  /// finalized chain in slot order. Returns how many were finalized.
+  /// finalized store in slot order. Returns how many were finalized.
   std::size_t try_finalize();
 
-  [[nodiscard]] const std::vector<Block>& finalized_chain() const noexcept { return chain_; }
-  [[nodiscard]] Slot first_unfinalized() const noexcept { return chain_.size() + 1; }
+  /// Invoked once per newly finalized block, in slot order, on BOTH
+  /// finalization paths (rule and adoption), before the block can be
+  /// compacted out of the tail. The multishot node routes its
+  /// decision/mempool/commit bookkeeping through this.
+  void set_on_finalized(std::function<void(const Block&)> hook) {
+    on_finalized_ = std::move(hook);
+  }
+
+  // --- Tail-aware finalized-side accessors (FinalizedStore passthrough) ---
+  /// Number of finalized slots == tip slot (the former finalized_chain().size()).
+  [[nodiscard]] Slot finalized_count() const noexcept { return store_.tip(); }
+  /// Resident finalized block for `slot`, nullptr when unfinalized or
+  /// compacted past the tail.
+  [[nodiscard]] const Block* block_at(Slot slot) const noexcept {
+    return store_.block_at(slot);
+  }
+  [[nodiscard]] Slot tail_first() const noexcept { return store_.tail_first(); }
+  [[nodiscard]] const Checkpoint& checkpoint() const noexcept { return store_.checkpoint(); }
+  [[nodiscard]] std::optional<std::uint64_t> prefix_digest(Slot slot) const {
+    return store_.prefix_digest(slot);
+  }
+  /// Slot that committed this transaction (commit-index probe; 0 = none).
+  [[nodiscard]] Slot commit_slot(std::span<const std::uint8_t> tx) const {
+    return store_.commit_slot(tx);
+  }
+  [[nodiscard]] Slot commit_slot(std::span<const std::uint8_t> tx,
+                                 std::uint64_t hash) const {
+    return store_.commit_slot(tx, hash);
+  }
+  [[nodiscard]] const FinalizedStore& finalized() const noexcept { return store_; }
+
+  [[nodiscard]] Slot first_unfinalized() const noexcept { return store_.tip() + 1; }
   [[nodiscard]] bool is_finalized(Slot slot) const noexcept {
-    return slot >= 1 && slot <= chain_.size();
+    return slot >= 1 && slot <= store_.tip();
   }
   [[nodiscard]] std::uint64_t finalized_tip_hash() const noexcept {
-    return chain_.empty() ? kGenesisHash : chain_.back().hash();
+    return store_.tip_hash();
   }
 
   /// How many consecutive notarized-but-unfinalized slots follow the chain.
@@ -91,10 +130,6 @@ class ChainStore {
   /// True when candidate (slot, hash) carries transaction frames -- or is
   /// not stored locally (unknown content is conservatively pending).
   [[nodiscard]] bool candidate_has_txs(Slot slot, std::uint64_t hash) const;
-
-  /// Pre-size the finalized chain for a long run (benches/drivers measuring
-  /// allocation-free steady state exclude the one-time growth this way).
-  void reserve_finalized(std::size_t slots) { chain_.reserve(slots); }
 
   /// Window slabs ever allocated == peak unfinalized-slot occupancy
   /// (bounded-storage regression tests).
@@ -140,8 +175,9 @@ class ChainStore {
 
   void prune_finalized();
 
-  std::vector<Block> chain_;       // finalized, slots 1..size
   SlotWindow<SlotEntry> window_;   // unfinalized candidate/notarization state
+  FinalizedStore store_;           // bounded tail + checkpoint + commit index
+  std::function<void(const Block&)> on_finalized_;
 };
 
 }  // namespace tbft::multishot

@@ -1,0 +1,64 @@
+#include "multishot/finalized_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tbft::multishot {
+
+void FinalizedStore::append(Block&& b) {
+  TBFT_ASSERT(b.slot == tip_ + 1);
+  // Compact the oldest resident block before its ring cell is overwritten:
+  // fold its hash into the cumulative chain hash and count its committed
+  // transactions (their digests are already in the index). The payload
+  // buffer stays in the ring cell and is recycled by the move-assign below.
+  if (tip_ >= tail_first() && slot_count(cap_) == tip_ - checkpoint_.slot) {
+    const Block& oldest = ring_[slot_index(tail_first(), Slot{1}) % cap_];
+    checkpoint_.chain_hash = hash_combine(checkpoint_.chain_hash, oldest.hash());
+    for_each_frame(oldest.payload,
+                   [this](std::span<const std::uint8_t>) { ++checkpoint_.tx_count; });
+    checkpoint_.slot = oldest.slot;
+  }
+  tip_ = b.slot;
+  tip_hash_ = b.hash();
+  for_each_frame(b.payload, [this, &b](std::span<const std::uint8_t> f) {
+    index_.insert(fnv1a64(f), b.slot);
+  });
+  ring_[slot_index(tip_, Slot{1}) % cap_] = std::move(b);
+}
+
+std::optional<std::uint64_t> FinalizedStore::prefix_digest(Slot s) const {
+  if (s < checkpoint_.slot || s > tip_) return std::nullopt;
+  std::uint64_t h = checkpoint_.chain_hash;
+  for (Slot t = tail_first(); t <= s; ++t) {
+    h = hash_combine(h, ring_[slot_index(t, Slot{1}) % cap_].hash());
+  }
+  return h;
+}
+
+Slot FinalizedStore::commit_slot(std::span<const std::uint8_t> tx,
+                                 std::uint64_t hash) const {
+  Slot found = 0;
+  index_.find(hash, [&](Slot s) {
+    if (const Block* b = block_at(s); b != nullptr) {
+      // Resident slot: confirm the bytes (collisions keep probing).
+      bool match = false;
+      for_each_frame(b->payload, [&](std::span<const std::uint8_t> f) {
+        match = match || (f.size() == tx.size() &&
+                          std::equal(f.begin(), f.end(), tx.begin()));
+      });
+      if (!match) return false;
+    }
+    // Compacted slot: the digest set is the only witness left; trust it.
+    found = s;
+    return true;
+  });
+  return found;
+}
+
+std::size_t FinalizedStore::resident_bytes() const noexcept {
+  std::size_t bytes = ring_.capacity() * sizeof(Block) + index_.resident_bytes();
+  for (const Block& b : ring_) bytes += b.payload.capacity();
+  return bytes;
+}
+
+}  // namespace tbft::multishot

@@ -1,0 +1,213 @@
+#pragma once
+// Finalized-chain storage engine (DESIGN_PERF.md "Finalized-chain storage").
+//
+// The finalized side of the chain used to be a flat std::vector<Block> that
+// grew forever; this store bounds resident BLOCK memory to O(tail)
+// regardless of chain length (the commit-index digest set still grows with
+// committed transactions -- ~16 B/tx vs full payloads, see the invariants
+// note below):
+//
+//  - a ring of the most recent `tail_capacity` finalized blocks (the tail)
+//    serves every reader that needs block *content* -- ChainInfo answering,
+//    range-sync chunks, parent lookups, mempool reconciliation;
+//  - blocks that fall off the tail are folded into a Checkpoint: the slot of
+//    the compaction boundary, a cumulative chain hash over every compacted
+//    block (order-sensitive, so two stores with equal checkpoints hold the
+//    same prefix), and the count of transactions committed below it;
+//  - a flat open-addressing commit index maps every committed transaction
+//    frame's hash to its slot at finalization time, replacing the former
+//    whole-chain tx_finalized scan with an O(1) probe. Index entries are
+//    never dropped at compaction -- they *are* the checkpoint's committed-tx
+//    digest set, so commit queries keep answering for compacted history.
+//
+// Invariants:
+//  - tail covers exactly (checkpoint.slot, tip]; tail_first() == checkpoint
+//    slot + 1; resident block count == tip - checkpoint.slot <= capacity;
+//  - prefix_digest(s) (cumulative chain hash through slot s) is available
+//    for any s in [checkpoint.slot, tip] and equal across consistent chains;
+//  - append() is allocation-free in steady state for filler payloads: the
+//    ring is sized up front, checkpoint folding is arithmetic, and the index
+//    only grows with committed transactions (inherent commit data, amortized
+//    doubling; O(committed txs) forever is the accepted cost of answering
+//    commit queries for compacted history -- bounding it too, via epoch
+//    segmentation, is a ROADMAP follow-on). bench_consensus keeps asserting
+//    the zero-alloc contract; bench_storage's bounded-memory gate measures
+//    the block side (frameless payloads), where O(tail) is exact.
+//
+// Slot arithmetic discipline: Slot is a 64-bit domain, container indices are
+// size_t. Every conversion funnels through slot_index()/slot_count() below,
+// so the compaction offset can never silently truncate (the former
+// `slot <= chain_.size()` Slot-vs-size_t comparisons are gone).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+#include "multishot/block.hpp"
+
+namespace tbft::multishot {
+
+/// Checked Slot -> container-index narrowing: the one place the 64-bit slot
+/// domain meets size_t. `base` is the first slot of the container's range.
+[[nodiscard]] constexpr std::size_t slot_index(Slot s, Slot base) noexcept {
+  TBFT_ASSERT(s >= base);
+  return static_cast<std::size_t>(s - base);
+}
+
+/// Checked count -> Slot widening (counts of consecutive slots are slots).
+[[nodiscard]] constexpr Slot slot_count(std::size_t n) noexcept {
+  return static_cast<Slot>(n);
+}
+
+/// Compaction summary of every finalized block below the tail.
+struct Checkpoint {
+  /// All slots <= slot are compacted (0 = nothing compacted yet).
+  Slot slot{0};
+  /// Cumulative chain hash through `slot`: fold of hash_combine over block
+  /// hashes in slot order, seeded with kGenesisHash.
+  std::uint64_t chain_hash{kGenesisHash};
+  /// Transactions committed in compacted blocks (their digests stay in the
+  /// commit index).
+  std::uint64_t tx_count{0};
+
+  friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
+};
+
+/// Flat open-addressing hash table: committed transaction frame hash -> slot.
+/// Linear probing, power-of-two capacity, no deletion (commits are forever).
+/// Duplicate keys coexist (hash collisions between distinct transactions);
+/// lookups walk the probe chain, so a collision can never mask a commit.
+class CommitIndex {
+ public:
+  CommitIndex() { table_.resize(kInitialCapacity); }
+
+  void insert(std::uint64_t key, Slot slot) {
+    TBFT_ASSERT(slot != 0);  // slot 0 marks empty cells
+    if ((used_ + 1) * 4 > table_.size() * 3) grow();
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & (table_.size() - 1);
+    while (table_[i].slot != 0) i = (i + 1) & (table_.size() - 1);
+    table_[i] = Entry{key, slot};
+    ++used_;
+  }
+
+  /// Visit the slot of every entry with this key (probe-chain walk; stops
+  /// early when `fn` returns true). Returns true when some visit did.
+  template <class Fn>
+  bool find(std::uint64_t key, Fn&& fn) const {
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & (table_.size() - 1);
+    while (table_[i].slot != 0) {
+      if (table_[i].key == key && fn(table_[i].slot)) return true;
+      i = (i + 1) & (table_.size() - 1);
+    }
+    return false;
+  }
+
+  /// First-inserted slot for `key`, or 0 when absent.
+  [[nodiscard]] Slot first_slot(std::uint64_t key) const {
+    Slot found = 0;
+    find(key, [&](Slot s) {
+      found = s;
+      return true;
+    });
+    return found;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return used_; }
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    return table_.size() * sizeof(Entry);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key{0};
+    Slot slot{0};  // 0 = empty
+  };
+  static constexpr std::size_t kInitialCapacity = 64;
+
+  void grow() {
+    std::vector<Entry> old;
+    old.swap(table_);
+    table_.resize(old.size() * 2);
+    used_ = 0;
+    for (const Entry& e : old) {
+      if (e.slot != 0) {
+        std::size_t i = static_cast<std::size_t>(mix64(e.key)) & (table_.size() - 1);
+        while (table_[i].slot != 0) i = (i + 1) & (table_.size() - 1);
+        table_[i] = e;
+        ++used_;
+      }
+    }
+  }
+
+  std::vector<Entry> table_;
+  std::size_t used_{0};
+};
+
+class FinalizedStore {
+ public:
+  /// Default tail: long enough that ChainInfo answering, range-sync serving
+  /// and every in-simulation consistency check read from resident blocks;
+  /// tests exercising compaction pass a small capacity explicitly.
+  static constexpr std::size_t kDefaultTailCapacity = 4096;
+
+  explicit FinalizedStore(std::size_t tail_capacity = kDefaultTailCapacity)
+      : cap_(tail_capacity), ring_(tail_capacity) {
+    TBFT_ASSERT(tail_capacity >= 8);  // finalization bursts notify before compaction
+  }
+
+  /// Append the next finalized block (must be tip+1; linkage is the caller's
+  /// contract -- ChainStore checks it). Compacts the oldest resident block
+  /// into the checkpoint when the tail is full.
+  void append(Block&& b);
+
+  /// Total finalized slots == tip slot (0 = empty chain).
+  [[nodiscard]] Slot tip() const noexcept { return tip_; }
+  [[nodiscard]] std::uint64_t tip_hash() const noexcept { return tip_hash_; }
+
+  /// First slot still resident in the tail (tip+1 when nothing is resident).
+  [[nodiscard]] Slot tail_first() const noexcept { return checkpoint_.slot + 1; }
+
+  /// Resident finalized block, or nullptr when `s` is unfinalized or
+  /// compacted past the tail.
+  [[nodiscard]] const Block* block_at(Slot s) const noexcept {
+    if (s < tail_first() || s > tip_) return nullptr;
+    return &ring_[slot_index(s, Slot{1}) % cap_];
+  }
+
+  [[nodiscard]] const Checkpoint& checkpoint() const noexcept { return checkpoint_; }
+
+  /// Cumulative chain hash through slot `s` (see Checkpoint::chain_hash).
+  /// Available for s in [checkpoint.slot, tip]; nullopt outside -- compacted
+  /// prefixes below the checkpoint can no longer be digested per slot.
+  [[nodiscard]] std::optional<std::uint64_t> prefix_digest(Slot s) const;
+
+  /// Slot that committed a transaction with this frame hash (0 = none).
+  /// Byte-exact for resident slots; compacted slots answer from the digest
+  /// set alone (a 64-bit collision is the accepted false-positive bound).
+  /// The second form takes the caller's precomputed fnv1a64(tx).
+  [[nodiscard]] Slot commit_slot(std::span<const std::uint8_t> tx) const {
+    return commit_slot(tx, fnv1a64(tx));
+  }
+  [[nodiscard]] Slot commit_slot(std::span<const std::uint8_t> tx,
+                                 std::uint64_t hash) const;
+
+  [[nodiscard]] const CommitIndex& commit_index() const noexcept { return index_; }
+
+  /// Bytes held live by the store: ring block headers + payload capacities +
+  /// index table (bench_storage's bounded-memory figure).
+  [[nodiscard]] std::size_t resident_bytes() const noexcept;
+
+  [[nodiscard]] std::size_t tail_capacity() const noexcept { return cap_; }
+
+ private:
+  std::size_t cap_;
+  std::vector<Block> ring_;  // index = (slot - 1) % cap_
+  Slot tip_{0};
+  std::uint64_t tip_hash_{kGenesisHash};
+  Checkpoint checkpoint_{};
+  CommitIndex index_;
+};
+
+}  // namespace tbft::multishot

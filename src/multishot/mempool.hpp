@@ -9,12 +9,15 @@
 // the mark is released if the proposal is aborted by a view change, once the
 // slot finalizes with someone else's block).
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <vector>
 
 #include "common/hash.hpp"
 #include "common/types.hpp"
+#include "sim/time.hpp"
 
 namespace tbft::multishot {
 
@@ -31,6 +34,10 @@ class BoundedMempool {
     std::uint64_t hash{0};  // fnv1a64(tx), computed once at admission
     bool inflight{false};   // included in a proposed, unfinalized block
     Slot slot{0};           // slot of that proposal (valid iff inflight)
+    /// Excluded from this node's own batches until then: set when the entry
+    /// was forwarded to the frontier leader (the relay owns it; the local
+    /// copy is the fallback should the relay fail). 0 = batchable now.
+    sim::SimTime hold_until{0};
   };
 
   /// Outcome of an admission attempt.
@@ -45,8 +52,11 @@ class BoundedMempool {
 
   /// Admit `tx`. Transactions larger than `max_tx_bytes` (0 = no limit) can
   /// never fit a batch; empty ones are indistinguishable from block filler
-  /// padding -- both are rejected outright.
-  Admit push(std::vector<std::uint8_t> tx, std::size_t max_tx_bytes = 0) {
+  /// padding -- both are rejected outright. A caller that already hashed the
+  /// bytes passes `precomputed_hash` (0 = compute here; a true fnv of 0 only
+  /// costs the recompute).
+  Admit push(std::vector<std::uint8_t> tx, std::size_t max_tx_bytes = 0,
+             std::uint64_t precomputed_hash = 0) {
     if (tx.empty() || (max_tx_bytes != 0 && tx.size() > max_tx_bytes)) {
       ++rejected_;
       return Admit::kRejected;
@@ -59,7 +69,7 @@ class BoundedMempool {
       }
       evicted = true;
     }
-    const std::uint64_t hash = fnv1a64(tx);
+    const std::uint64_t hash = precomputed_hash != 0 ? precomputed_hash : fnv1a64(tx);
     entries_.push_back(Entry{std::move(tx), hash, false, 0});
     ++admitted_;
     if (evicted) {
@@ -67,6 +77,18 @@ class BoundedMempool {
       return Admit::kDroppedOldest;
     }
     return Admit::kAdmitted;
+  }
+
+  /// True when an identical transaction is already pending (hash pre-filter,
+  /// byte-exact confirm) -- the submit/relay dedup probe.
+  [[nodiscard]] bool contains(std::uint64_t hash, std::span<const std::uint8_t> tx) const {
+    for (const auto& e : entries_) {
+      if (e.hash == hash && e.tx.size() == tx.size() &&
+          std::equal(e.tx.begin(), e.tx.end(), tx.begin())) {
+        return true;
+      }
+    }
+    return false;
   }
 
   /// Mark `e` as included in this node's proposal for `slot`.

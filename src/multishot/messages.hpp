@@ -23,6 +23,9 @@ enum class MsType : std::uint8_t {
   Proof = 14,
   ViewChange = 15,
   ChainInfo = 16,
+  SyncRequest = 17,
+  SyncChunk = 18,
+  ForwardTx = 19,
 };
 
 struct MsProposal {
@@ -156,26 +159,33 @@ struct MsViewChange {
   }
 };
 
-/// Catch-up help: a suffix of the sender's finalized chain, sent in response
-/// to a view-change for an already-finalized slot. A straggler adopts a
-/// block once f+1 distinct senders claim it (>= 1 honest claim, and honest
-/// finalized chains agree). Multi-shot analogue of the single-shot Decide.
+/// Frontier discovery (demoted from the catch-up workhorse it used to be):
+/// the sender's first unfinalized slot plus a short finalized suffix, sent
+/// in response to a view-change for an already-finalized slot. A straggler
+/// adopts a block once f+1 distinct senders claim it (>= 1 honest claim,
+/// and honest finalized chains agree); gaps wider than the few blocks
+/// carried here are closed by the ranged sync protocol below, which the
+/// advertised frontier triggers. Multi-shot analogue of the single-shot
+/// Decide.
 struct MsChainInfo {
+  Slot frontier{0};  // sender's first unfinalized slot
   std::vector<Block> blocks;
 
   friend bool operator==(const MsChainInfo&, const MsChainInfo&) = default;
 
-  static constexpr std::size_t kMaxBlocks = 8;
+  static constexpr std::size_t kMaxBlocks = 4;
 
   void encode(serde::Writer& w) const {
     w.u8(static_cast<std::uint8_t>(MsType::ChainInfo));
+    w.u64(frontier);
     w.varint(blocks.size());
     for (const auto& b : blocks) b.encode(w);
   }
   static MsChainInfo decode(serde::Reader& r) {
     MsChainInfo m;
+    m.frontier = r.u64();
     const auto count = r.varint();
-    if (count > kMaxBlocks) {
+    if (m.frontier < 1 || count > kMaxBlocks) {
       r.fail();
       return m;
     }
@@ -186,8 +196,100 @@ struct MsChainInfo {
   }
 };
 
-using MsMessage =
-    std::variant<MsProposal, MsVote, MsSuggest, MsProof, MsViewChange, MsChainInfo>;
+/// Ranged catch-up: "stream me finalized blocks [from, upto)". Broadcast --
+/// in the unauthenticated model a block is only adopted once f+1 distinct
+/// senders vouch for it, so the requester needs the range from f+1 peers
+/// anyway; a timeout simply re-broadcasts from the current frontier
+/// (re-requesting from whichever peers are alive).
+struct MsSyncRequest {
+  Slot from{0};  // first wanted slot (requester's first unfinalized)
+  Slot upto{0};  // exclusive end of the wanted range (pipeline cursor)
+
+  friend bool operator==(const MsSyncRequest&, const MsSyncRequest&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsType::SyncRequest));
+    w.u64(from);
+    w.u64(upto);
+  }
+  static MsSyncRequest decode(serde::Reader& r) {
+    MsSyncRequest m;
+    m.from = r.u64();
+    m.upto = r.u64();
+    if (m.from < 1 || m.upto <= m.from) r.fail();
+    return m;
+  }
+};
+
+/// One pipelined slice of a sync response: up to kMaxBlocksPerChunk
+/// consecutive finalized blocks starting at `start`, plus the responder's
+/// frontier (the continuation cursor: the requester keeps re-requesting
+/// until it reaches it). An empty chunk (start == 0) is a refusal-with-hint:
+/// the responder's tail no longer holds the requested range (compacted), or
+/// it has nothing finalized there -- the frontier still tells the requester
+/// where the tip is.
+struct MsSyncChunk {
+  Slot frontier{0};  // responder's first unfinalized slot
+  Slot start{0};     // slot of blocks[0]; 0 when the chunk carries no blocks
+  std::vector<Block> blocks;
+
+  friend bool operator==(const MsSyncChunk&, const MsSyncChunk&) = default;
+
+  static constexpr std::size_t kMaxBlocksPerChunk = 16;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsType::SyncChunk));
+    w.u64(frontier);
+    w.u64(start);
+    w.varint(blocks.size());
+    for (const auto& b : blocks) b.encode(w);
+  }
+  static MsSyncChunk decode(serde::Reader& r) {
+    MsSyncChunk m;
+    m.frontier = r.u64();
+    m.start = r.u64();
+    const auto count = r.varint();
+    if (m.frontier < 1 || count > kMaxBlocksPerChunk || (m.start == 0 && count > 0)) {
+      r.fail();
+      return m;
+    }
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+      Block b = Block::decode(r);
+      // Chunks are consecutive by construction; enforcing it at decode keeps
+      // the claim layer from tracking garbage slot numbers.
+      if (b.slot != m.start + i) {
+        r.fail();
+        return m;
+      }
+      m.blocks.push_back(std::move(b));
+    }
+    return m;
+  }
+};
+
+/// Single-hop client-request relay: a transaction submitted to a non-leader
+/// is forwarded to the proposal-frontier leader so an idle chain resumes in
+/// ~1 delta instead of waiting out a ~9 delta view change. Receivers dedup
+/// by content hash and never re-forward.
+struct MsForwardTx {
+  std::vector<std::uint8_t> tx;
+
+  friend bool operator==(const MsForwardTx&, const MsForwardTx&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsType::ForwardTx));
+    w.bytes(tx);
+  }
+  static MsForwardTx decode(serde::Reader& r) {
+    MsForwardTx m;
+    m.tx = r.bytes();
+    if (m.tx.empty()) r.fail();  // empty = indistinguishable from filler
+    return m;
+  }
+};
+
+using MsMessage = std::variant<MsProposal, MsVote, MsSuggest, MsProof, MsViewChange,
+                               MsChainInfo, MsSyncRequest, MsSyncChunk, MsForwardTx>;
 
 std::vector<std::uint8_t> encode_ms(const MsMessage& m);
 

@@ -18,14 +18,6 @@ std::size_t varint_size(std::uint64_t v) {
   return n;
 }
 
-bool frames_contain(const std::vector<std::span<const std::uint8_t>>& frames,
-                    std::span<const std::uint8_t> tx) {
-  for (const auto& f : frames) {
-    if (f.size() == tx.size() && std::equal(f.begin(), f.end(), tx.begin())) return true;
-  }
-  return false;
-}
-
 /// Hash-indexed view of a block's frames for mempool reconciliation: sorted
 /// (fnv1a64, frame) pairs, probed per entry in O(log frames) with an exact
 /// byte comparison only on hash hits.
@@ -73,6 +65,9 @@ std::optional<MsMessage> decode_ms(std::span<const std::uint8_t> payload) {
     case MsType::Proof: out = MsProof::decode(r); break;
     case MsType::ViewChange: out = MsViewChange::decode(r); break;
     case MsType::ChainInfo: out = MsChainInfo::decode(r); break;
+    case MsType::SyncRequest: out = MsSyncRequest::decode(r); break;
+    case MsType::SyncChunk: out = MsSyncChunk::decode(r); break;
+    case MsType::ForwardTx: out = MsForwardTx::decode(r); break;
     default: return std::nullopt;
   }
   if (!r.done()) return std::nullopt;
@@ -82,7 +77,12 @@ std::optional<MsMessage> decode_ms(std::span<const std::uint8_t> payload) {
 MultishotNode::MultishotNode(MultishotConfig cfg)
     : cfg_(cfg),
       qp_(cfg.quorum_params()),
-      mempool_(cfg.mempool_capacity, cfg.mempool_policy) {}
+      chain_(cfg.finalized_tail),
+      mempool_(cfg.mempool_capacity, cfg.mempool_policy) {
+  // Both finalization paths (depth-4 rule and claim adoption) notify through
+  // this one hook, before the block can be compacted out of the tail.
+  chain_.set_on_finalized([this](const Block& b) { note_finalized(b); });
+}
 
 void MultishotNode::on_start() {
   start_slot(1);
@@ -90,8 +90,22 @@ void MultishotNode::on_start() {
 }
 
 bool MultishotNode::submit_tx(std::vector<std::uint8_t> tx) {
-  const auto verdict = mempool_.push(std::move(tx), cfg_.max_batch_bytes);
   auto& metrics = ctx().metrics();
+  // Same dedup the relay path runs, hashed once: a client retrying a
+  // request this node already committed (commit index), already holds
+  // pending (pool probe), or already accepted from a relay (recent set)
+  // gets success without a second pool entry -- re-admitting any of them
+  // could commit the same bytes twice and break exactly-once.
+  std::uint64_t h = 0;
+  if (!tx.empty()) {
+    h = fnv1a64(tx);
+    if (chain_.commit_slot(tx, h) != 0 || mempool_.contains(h, tx) ||
+        forward_seen_.contains(h)) {
+      metrics.counter("multishot.submit.deduped").add();
+      return true;
+    }
+  }
+  const auto verdict = mempool_.push(std::move(tx), cfg_.max_batch_bytes, h);
   switch (verdict) {
     case BoundedMempool::Admit::kRejected:
       metrics.counter("multishot.mempool.rejected").add();
@@ -106,6 +120,40 @@ bool MultishotNode::submit_tx(std::vector<std::uint8_t> tx) {
   metrics.histogram("multishot.mempool.depth").record(static_cast<double>(mempool_.size()));
   if (verdict == BoundedMempool::Admit::kRejected) return false;
 
+  // Single-hop relay: when another node leads the proposal frontier, hand
+  // the request to it (the entry just pushed is entries().back() on every
+  // admission path).
+  forward_if_foreign_leader(mempool_.entries().back());
+  after_admission();
+  return true;
+}
+
+void MultishotNode::forward_if_foreign_leader(BoundedMempool::Entry& e) {
+  if (!cfg_.forward_to_leader) return;
+  // Only relay into a suppressed (parked) chain -- that is the case the
+  // relay exists for: resuming an idle chain in ~1 delta instead of the
+  // ~9 delta view-change rotation. Under load the pipeline is already
+  // moving and the submitter's own batching path includes the request;
+  // relaying then would put the same bytes in two pools whose inclusion
+  // races the hold window below (a double-commit risk the single-pool
+  // loaded path never has).
+  if (cfg_.max_slots != 0 || !idle_suppressed_) return;
+  const Slot frontier = proposal_frontier();
+  const NodeId leader = cfg_.leader_of(frontier, view_of(frontier));
+  if (leader == ctx().id()) return;
+  // The relay owns the request for one retry period: holding the local
+  // fallback copy out of our own batches keeps the same bytes from racing
+  // into two different slots. If the leader crashed or the relay was lost,
+  // the hold expires and the local copy resumes through the view-change
+  // path; an idle chain commits the relayed copy orders of magnitude
+  // earlier, and a late relayed duplicate is caught by the receiver's
+  // commit-index check.
+  e.hold_until = ctx().now() + forward_retry();
+  ctx().metrics().counter("multishot.forward.sent").add();
+  send_ms(leader, MsForwardTx{e.tx});
+}
+
+void MultishotNode::after_admission() {
   // A leader deferring a fresh proposal for transactions (batch_timeout) can
   // propose now.
   if (batch_timers_armed_ > 0) {
@@ -128,7 +176,6 @@ bool MultishotNode::submit_tx(std::vector<std::uint8_t> tx) {
     wake_slot(frontier);
     try_propose(frontier);
   }
-  return true;
 }
 
 View MultishotNode::view_of(Slot s) const {
@@ -137,10 +184,7 @@ View MultishotNode::view_of(Slot s) const {
 }
 
 bool MultishotNode::tx_finalized(std::span<const std::uint8_t> tx) const {
-  for (const auto& b : chain_.finalized_chain()) {
-    if (frames_contain(payload_frames(b.payload), tx)) return true;
-  }
-  return false;
+  return chain_.commit_slot(tx) != 0;
 }
 
 MultishotNode::SlotState* MultishotNode::slot_state(Slot s, bool create) {
@@ -217,8 +261,17 @@ MultishotNode::BatchDraft MultishotNode::build_batch(View view) {
   BatchDraft draft;
   serde::Writer w;
   w.varint(static_cast<std::uint64_t>(view));  // nonce: distinct across views
+  const sim::SimTime now = ctx().now();
   for (auto& e : mempool_.entries()) {
-    if (e.inflight) continue;  // already in one of my outstanding proposals
+    if (e.inflight) continue;       // already in one of my outstanding proposals
+    if (e.hold_until > now) continue;  // forwarded; the relay owns it for now
+    // Expired hold: the relay may have committed it in a block this node has
+    // not finalized yet (reconciliation erases the entry only at its own
+    // finalization) -- the O(1) index probe closes that re-commit window.
+    // A residual race remains when both copies are in flight at once; the
+    // idle-only forwarding gate (forward_if_foreign_leader) keeps that off
+    // the loaded path where it could actually interleave.
+    if (e.hold_until != 0 && chain_.commit_slot(e.tx, e.hash) != 0) continue;
     if (draft.entries.size() >= cfg_.max_batch_txs) break;
     const std::size_t frame = varint_size(e.tx.size()) + e.tx.size();
     if (!draft.entries.empty() && w.size() + frame > cfg_.max_batch_bytes) break;
@@ -263,7 +316,8 @@ void MultishotNode::cancel_batch_timer(SlotState& st) {
 std::optional<std::uint64_t> MultishotNode::parent_for_proposal(Slot s) const {
   const Slot prev = s - 1;
   if (prev == 0) return kGenesisHash;
-  if (chain_.is_finalized(prev)) return chain_.finalized_chain()[prev - 1].hash();
+  // A finalized predecessor of an unfinalized slot is exactly the tip.
+  if (chain_.is_finalized(prev)) return chain_.finalized_tip_hash();
   // A notarization of the previous slot is the convergent signal: build on
   // it whenever one exists (any view; value stability in try_propose keeps
   // re-proposals equal to notarizations, so this stays consistent across
@@ -409,9 +463,10 @@ void MultishotNode::record_vote_effects(Slot s, View v, const Block& head) {
     const Slot parent_slot = target - 1;
     const Block* pb = chain_.find_block(parent_slot, b->parent_hash);
     if (pb == nullptr) {
-      if (chain_.is_finalized(parent_slot) &&
-          chain_.finalized_chain()[parent_slot - 1].hash() == b->parent_hash) {
-        pb = &chain_.finalized_chain()[parent_slot - 1];
+      // A compacted ancestor (block_at == nullptr) is content-unknown too.
+      const Block* fb = chain_.block_at(parent_slot);
+      if (fb != nullptr && fb->hash() == b->parent_hash) {
+        pb = fb;
       } else {
         break;  // ancestor content unknown; skip deeper phases
       }
@@ -429,12 +484,8 @@ void MultishotNode::on_notarized(Slot s) {
 }
 
 void MultishotNode::finalize_progress() {
-  const std::size_t before = chain_.finalized_chain().size();
-  chain_.try_finalize();
-  const auto& ch = chain_.finalized_chain();
-  if (ch.size() == before) return;
-  for (std::size_t i = before; i < ch.size(); ++i) note_finalized(ch[i]);
-  prune_slots();
+  // note_finalized runs per block through the ChainStore hook.
+  if (chain_.try_finalize() > 0) prune_slots();
 }
 
 void MultishotNode::note_finalized(const Block& b) {
@@ -564,13 +615,10 @@ void MultishotNode::handle(NodeId from, const MsProof& m) {
 
 void MultishotNode::handle(NodeId from, const MsViewChange& m) {
   if (chain_.is_finalized(m.slot)) {
-    // Catch-up help: answer with a finalized-chain suffix.
-    MsChainInfo info;
-    const auto& ch = chain_.finalized_chain();
-    for (Slot s = m.slot; s <= ch.size() && info.blocks.size() < MsChainInfo::kMaxBlocks; ++s) {
-      info.blocks.push_back(ch[s - 1]);
-    }
-    if (from != ctx().id()) send_ms(from, info);
+    // Catch-up help, demoted to frontier discovery: a short resident suffix
+    // plus our frontier. Gaps wider than kMaxBlocks trigger the requester's
+    // range sync against the advertised frontier.
+    if (from != ctx().id()) send_ms(from, chain_info_for(m.slot));
     return;
   }
   SlotState* st = slot_state(m.slot, true);
@@ -635,6 +683,24 @@ Slot MultishotNode::lowest_unfinalized_started() const {
 }
 
 void MultishotNode::on_timer(sim::TimerId id) {
+  if (id == sync_.timer) {
+    // Range-sync progress timer: with adoptions since the last request,
+    // keep the pipeline streaming (cursor re-request, which also rotates to
+    // whichever peers are alive); a request window that adopted nothing
+    // means the advertised frontier was stale or Byzantine (honest peers
+    // only sent refusal hints) -- drop the sync rather than re-broadcast
+    // forever. Genuine lag keeps producing fresh frontier hints through the
+    // view-change -> ChainInfo path and re-triggers it; a forged frontier
+    // costs at most one request round per poison message.
+    sync_.timer = 0;
+    if (sync_.target > chain_.first_unfinalized() && sync_.adopted_since_request > 0) {
+      send_sync_request();
+    } else {
+      sync_.target = 0;
+      sync_.requested_upto = 0;
+    }
+    return;
+  }
   // Resolve the timer to its slot by scanning the window: timers fire orders
   // of magnitude less often than votes arrive, so the bounded sweep beats
   // maintaining reverse-index maps on the hot path.
@@ -680,26 +746,30 @@ void MultishotNode::on_timer(sim::TimerId id) {
   arm_timer(view_slot);  // retransmission against pre-GST loss
 }
 
-void MultishotNode::handle(NodeId from, const MsChainInfo& m) {
-  bool adopted_any = false;
-  for (const Block& b : m.blocks) {
-    const Slot first = chain_.first_unfinalized();
-    if (b.slot < first || b.slot > first + kClaimWindow) continue;
-    ClaimSlab* slab = chain_claims_.ensure(b.slot);
-    if (slab == nullptr) continue;
-    const std::uint64_t h = b.hash();
-    ClaimSlab::Claim* claim = slab->find(h);
-    if (claim == nullptr) {
-      // One created claim per sender per slot: honest senders claim a
-      // single hash, so only Byzantine fan-out is refused here.
-      if (slab->sender_has_claim(from)) continue;
-      claim = slab->add(h, cfg_.n);
-      if (claim == nullptr) continue;  // per-slot claim bound reached
-      claim->block = b;
-    }
-    claim->senders.insert(from);
+void MultishotNode::note_block_claim(NodeId from, const Block& b) {
+  const Slot first = chain_.first_unfinalized();
+  if (b.slot < first || b.slot > first + kClaimWindow) return;
+  ClaimSlab* slab = chain_claims_.ensure(b.slot);
+  if (slab == nullptr) return;
+  const std::uint64_t h = b.hash();
+  ClaimSlab::Claim* claim = slab->find(h);
+  if (claim == nullptr) {
+    // One created claim per sender per slot: honest senders claim a
+    // single hash, so only Byzantine fan-out is refused here.
+    if (slab->sender_has_claim(from)) return;
+    claim = slab->add(h, cfg_.n);
+    if (claim == nullptr) return;  // per-slot claim bound reached
+    claim->block = b;
   }
-  // Adopt blocks with f+1 claims, in chain order.
+  claim->senders.insert(from);
+}
+
+std::size_t MultishotNode::adopt_ready_claims() {
+  // Adopt blocks with f+1 claims, in chain order (>= 1 honest claimer, and
+  // honest finalized chains agree -- the unauthenticated model's only way
+  // to trust a block without running consensus on it). note_finalized runs
+  // per adopted block through the ChainStore hook.
+  std::size_t adopted = 0;
   bool progress = true;
   while (progress) {
     progress = false;
@@ -709,14 +779,13 @@ void MultishotNode::handle(NodeId from, const MsChainInfo& m) {
       ClaimSlab::Claim& claim = slab->claims[i];
       if (!qp_.is_blocking(claim.senders.count())) continue;
       if (chain_.force_finalize(claim.block)) {
-        note_finalized(claim.block);
         progress = true;
-        adopted_any = true;
+        ++adopted;
         break;
       }
     }
   }
-  if (adopted_any) {
+  if (adopted > 0) {
     prune_slots();
     // The freshly adopted chain may unblock voting/proposing.
     const Slot next = chain_.first_unfinalized();
@@ -729,6 +798,168 @@ void MultishotNode::handle(NodeId from, const MsChainInfo& m) {
       try_propose(frontier);
     }
   }
+  return adopted;
+}
+
+void MultishotNode::handle(NodeId from, const MsChainInfo& m) {
+  for (const Block& b : m.blocks) note_block_claim(from, b);
+  adopt_ready_claims();
+  note_frontier(m.frontier);
+}
+
+MsChainInfo MultishotNode::chain_info_for(Slot slot) const {
+  MsChainInfo info;
+  info.frontier = chain_.first_unfinalized();
+  if (slot < chain_.tail_first()) return info;  // compacted: frontier hint only
+  for (Slot s = slot;
+       s <= chain_.finalized_count() && info.blocks.size() < MsChainInfo::kMaxBlocks; ++s) {
+    info.blocks.push_back(*chain_.block_at(s));
+  }
+  return info;
+}
+
+// --- Range-sync catch-up ---------------------------------------------------
+
+void MultishotNode::note_frontier(Slot frontier) {
+  if (frontier > sync_.target) sync_.target = frontier;
+  maybe_request_sync();
+}
+
+void MultishotNode::maybe_request_sync() {
+  const Slot first = chain_.first_unfinalized();
+  if (sync_.target <= first) {
+    // Caught up with every frontier we ever heard of: sync is over.
+    if (sync_.timer != 0) {
+      ctx().cancel_timer(sync_.timer);
+      sync_.timer = 0;
+    }
+    sync_.target = 0;
+    sync_.requested_upto = 0;
+    return;
+  }
+  // Small gaps heal through the ChainInfo fast path without a round-trip.
+  if (sync_.target <= first + MsChainInfo::kMaxBlocks) return;
+  // An in-flight request still covers unadopted slots: let it stream.
+  if (sync_.timer != 0 && sync_.requested_upto > first) return;
+  send_sync_request();
+}
+
+void MultishotNode::send_sync_request() {
+  const Slot first = chain_.first_unfinalized();
+  sync_.requested_upto = std::min(sync_.target, first + kSyncPipelineDepth);
+  sync_.adopted_since_request = 0;
+  if (sync_.timer != 0) ctx().cancel_timer(sync_.timer);
+  sync_.timer = ctx().set_timer(sync_timeout());
+  ctx().metrics().counter("multishot.sync.requests").add();
+  // Broadcast: adoption needs f+1 matching copies in the unauthenticated
+  // model, so the range must come from f+1 peers anyway; a timeout simply
+  // re-broadcasts from the current frontier (re-requesting from whichever
+  // peers are alive).
+  broadcast_ms(MsSyncRequest{first, sync_.requested_upto});
+}
+
+void MultishotNode::handle(NodeId from, const MsSyncRequest& m) {
+  if (from == ctx().id()) return;  // own broadcast
+  MsSyncChunk hint;
+  hint.frontier = chain_.first_unfinalized();
+  // Serve only resident finalized blocks, within the pipeline bound (defends
+  // responder bandwidth against Byzantine huge ranges).
+  const Slot upto = std::min({m.upto, hint.frontier, m.from + kSyncPipelineDepth});
+  if (m.from < chain_.tail_first() || m.from >= upto) {
+    // Refusal with a frontier hint: the range is compacted past our tail, or
+    // we hold nothing the requester lacks. Discovery keeps moving either way.
+    ctx().metrics().counter("multishot.sync.refused").add();
+    send_ms(from, hint);
+    return;
+  }
+  for (Slot s = m.from; s < upto; s += slot_count(MsSyncChunk::kMaxBlocksPerChunk)) {
+    MsSyncChunk out;
+    out.frontier = hint.frontier;
+    out.start = s;
+    const Slot stop = std::min(upto, s + slot_count(MsSyncChunk::kMaxBlocksPerChunk));
+    for (Slot t = s; t < stop; ++t) out.blocks.push_back(*chain_.block_at(t));
+    ctx().metrics().counter("multishot.sync.chunks_sent").add();
+    send_ms(from, out);
+  }
+}
+
+void MultishotNode::handle(NodeId from, const MsSyncChunk& m) {
+  if (from == ctx().id()) return;
+  for (const Block& b : m.blocks) note_block_claim(from, b);
+  if (const std::size_t adopted = adopt_ready_claims(); adopted > 0) {
+    sync_.adopted_since_request += adopted;
+    ctx().metrics().counter("multishot.sync.blocks_adopted").add(adopted);
+  }
+  // Continuation cursor: adopting up to requested_upto makes the next
+  // maybe_request_sync issue the follow-up range; a fresher frontier in the
+  // chunk extends the target first.
+  note_frontier(m.frontier);
+}
+
+// --- Client-request forwarding ---------------------------------------------
+
+void MultishotNode::handle(NodeId from, const MsForwardTx& m) {
+  (void)from;
+  auto& metrics = ctx().metrics();
+  // Dedup, hashed once: committed requests answer from the commit index;
+  // a copy already pending here (submitted directly while the relay was in
+  // flight) from the pool probe; in-flight re-forwards (a client retrying
+  // via different nodes) from the recent set.
+  const std::uint64_t h = fnv1a64(m.tx);
+  if (chain_.commit_slot(m.tx, h) != 0 || mempool_.contains(h, m.tx) ||
+      forward_seen_.contains(h)) {
+    metrics.counter("multishot.forward.deduped").add();
+    return;
+  }
+  const auto verdict =
+      mempool_.push(std::vector<std::uint8_t>(m.tx), cfg_.max_batch_bytes, h);
+  if (verdict == BoundedMempool::Admit::kRejected) {
+    // Not recorded as seen: a rejected relay must stay retryable once the
+    // pool drains, or one full-pool moment would poison the request here.
+    metrics.counter("multishot.forward.rejected").add();
+    return;
+  }
+  forward_seen_.insert(h);
+  metrics.counter("multishot.forward.received").add();
+  // Single hop: a relayed request is never re-forwarded; it wakes batching
+  // and the idle chain exactly like a local submission.
+  after_admission();
+}
+
+bool chains_prefix_consistent(const std::vector<MultishotNode*>& nodes) {
+  // All pairs, not just each-vs-longest: with per-node compaction two nodes
+  // can be incomparable against the longest chain (its checkpoint passed
+  // their tips) yet still comparable against each other. A pair where no
+  // common slot is resident on both sides AND the digest floor lies above
+  // the common tip is vacuously consistent -- the witnessing data no longer
+  // exists anywhere; production tails (4096) keep every in-simulation
+  // overlap resident, so this only arises in deliberate tiny-tail tests.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const MultishotNode* a = nodes[i];
+    if (a == nullptr) continue;
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const MultishotNode* b = nodes[j];
+      if (b == nullptr) continue;
+      const Slot common = std::min(a->finalized_count(), b->finalized_count());
+      if (common == 0) continue;
+      // Resident overlap: blocks must be byte-equal.
+      const Slot lo = std::max(a->chain().tail_first(), b->chain().tail_first());
+      for (Slot s = lo; s <= common; ++s) {
+        const Block* ba = a->block_at(s);
+        const Block* bb = b->block_at(s);
+        if (ba == nullptr || bb == nullptr || !(*ba == *bb)) return false;
+      }
+      // Prefixes reaching below a tail: cumulative digests must agree at
+      // the deepest slot both stores can still digest.
+      const Slot dlo = std::max(a->chain().checkpoint().slot, b->chain().checkpoint().slot);
+      if (dlo <= common) {
+        const auto da = a->chain().prefix_digest(common);
+        const auto db = b->chain().prefix_digest(common);
+        if (!da || !db || *da != *db) return false;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace tbft::multishot

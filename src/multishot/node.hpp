@@ -35,6 +35,7 @@
 // proposals and view-change messages re-arm dormant slots, so a loaded run
 // quiesces naturally and resumes on new traffic.
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <optional>
@@ -62,6 +63,23 @@ struct MultishotConfig {
   Slot max_slots{0};
   /// Payload bytes attached to fresh blocks when the mempool is empty.
   std::uint32_t default_payload_bytes{8};
+
+  // --- Finalized-chain storage (DESIGN_PERF.md "Finalized-chain storage") ---
+  /// Resident finalized blocks kept behind the compaction checkpoint; serves
+  /// ChainInfo answering and range-sync chunks. Tests exercising compaction
+  /// set this small.
+  std::size_t finalized_tail{FinalizedStore::kDefaultTailCapacity};
+  /// Range-sync progress timeout (re-request cadence). 0 = 3 * delta_bound.
+  sim::SimTime sync_timeout{0};
+
+  // --- Client-request forwarding ---
+  /// Forward transactions submitted to a non-leader to the proposal-frontier
+  /// leader (single-hop relay; receivers dedup by content hash and never
+  /// re-forward), cutting idle-chain resume from ~9 delta to ~1 delta.
+  bool forward_to_leader{true};
+  /// How long the submitter's local fallback copy stays out of its own
+  /// batches after forwarding (relay failure recovery). 0 = 2 * view_timeout().
+  sim::SimTime forward_retry{0};
 
   // --- Leader batching / mempool (workload path, DESIGN_PERF.md) ---
   /// Most transactions a fresh block carries.
@@ -102,9 +120,11 @@ class MultishotNode : public sim::ProtocolNode {
   bool submit_tx(std::vector<std::uint8_t> tx);
 
   [[nodiscard]] const ChainStore& chain() const noexcept { return chain_; }
-  [[nodiscard]] const std::vector<Block>& finalized_chain() const noexcept {
-    return chain_.finalized_chain();
-  }
+  /// Tail-aware finalized-chain accessors (the former finalized_chain()
+  /// vector is gone: finalized history is a bounded tail behind a
+  /// compaction checkpoint, see finalized_store.hpp).
+  [[nodiscard]] Slot finalized_count() const noexcept { return chain_.finalized_count(); }
+  [[nodiscard]] const Block* block_at(Slot s) const noexcept { return chain_.block_at(s); }
   [[nodiscard]] View view_of(Slot s) const;
   [[nodiscard]] const MultishotConfig& config() const noexcept { return cfg_; }
 
@@ -118,7 +138,9 @@ class MultishotNode : public sim::ProtocolNode {
     return first_proposal_at_;
   }
 
-  /// True iff `tx` appears in some finalized block's payload.
+  /// True iff `tx` appears in some finalized block's payload. O(1) commit-
+  /// index probe (finalized_store.hpp), replacing the whole-chain scan;
+  /// answers for compacted history through the checkpoint digest set.
   [[nodiscard]] bool tx_finalized(std::span<const std::uint8_t> tx) const;
 
   /// Workload accounting: invoked once per newly finalized block, in slot
@@ -149,8 +171,11 @@ class MultishotNode : public sim::ProtocolNode {
   /// Bound on per-slot containers keyed by view (defends against Byzantine
   /// view-number spam; honest traffic uses a handful of views).
   static constexpr std::size_t kMaxTrackedViewsPerSlot = 32;
-  /// ChainInfo claims are only tracked this far past the finalized tip.
-  static constexpr Slot kClaimWindow = 16;
+  /// Finalized-block claims (ChainInfo and sync chunks) are only tracked
+  /// this far past the finalized tip; doubles as the range-sync pipeline
+  /// depth -- blocks past it could not be adopted yet anyway.
+  static constexpr Slot kClaimWindow = 64;
+  static constexpr Slot kSyncPipelineDepth = kClaimWindow;
   /// Distinct claimed blocks tracked per slot (honest claims agree; only
   /// Byzantine senders can fan out further).
   static constexpr std::size_t kMaxClaimsPerSlot = 32;
@@ -273,6 +298,39 @@ class MultishotNode : public sim::ProtocolNode {
   void handle(NodeId from, const MsProof& m);
   void handle(NodeId from, const MsViewChange& m);
   void handle(NodeId from, const MsChainInfo& m);
+  void handle(NodeId from, const MsSyncRequest& m);
+  void handle(NodeId from, const MsSyncChunk& m);
+  void handle(NodeId from, const MsForwardTx& m);
+
+  // --- Range-sync catch-up (requester side) ---
+  /// Fold a peer's advertised frontier into the sync target and (re)issue a
+  /// ranged request when the gap is past what ChainInfo replies can close.
+  void note_frontier(Slot frontier);
+  void maybe_request_sync();
+  void send_sync_request();
+  [[nodiscard]] sim::SimTime sync_timeout() const noexcept {
+    return cfg_.sync_timeout > 0 ? cfg_.sync_timeout : 3 * cfg_.delta_bound;
+  }
+  /// Demoted ChainInfo reply: frontier plus a short resident suffix from
+  /// `slot` (frontier-only when `slot` was compacted past the tail).
+  [[nodiscard]] MsChainInfo chain_info_for(Slot slot) const;
+
+  // --- Finalized-block claims (shared by ChainInfo and sync chunks) ---
+  void note_block_claim(NodeId from, const Block& b);
+  /// Adopt claims with f+1 matching senders, in chain order; runs the
+  /// post-adoption wake/vote/propose hooks. Returns how many were adopted.
+  std::size_t adopt_ready_claims();
+
+  // --- Client-request forwarding ---
+  [[nodiscard]] sim::SimTime forward_retry() const noexcept {
+    return cfg_.forward_retry > 0 ? cfg_.forward_retry : 2 * cfg_.view_timeout();
+  }
+  /// Relay a freshly admitted local submission to the frontier leader when
+  /// that is not us; holds the local copy out of our own batches meanwhile.
+  void forward_if_foreign_leader(BoundedMempool::Entry& e);
+  /// Wake paths shared by local submissions and received forwards: batch
+  /// timer cancellation and idle-chain resume.
+  void after_admission();
 
   void change_view(Slot from_slot, View new_view);
   [[nodiscard]] Slot lowest_unfinalized_started() const;
@@ -296,12 +354,72 @@ class MultishotNode : public sim::ProtocolNode {
   void note_finalized(const Block& b);
   void prune_slots();
 
+  /// Range-sync requester state: one in-flight ranged request at a time,
+  /// re-issued on progress (cursor continuation) or timeout (re-request).
+  struct SyncState {
+    Slot target{0};          // highest advertised peer frontier seen
+    Slot requested_upto{0};  // exclusive end of the in-flight request
+    sim::TimerId timer{0};
+    /// Blocks adopted from chunks since the last request was issued: the
+    /// progress signal. A request window that adopts nothing (forged or
+    /// stale frontier, partitioned responders) drops the sync instead of
+    /// re-broadcasting forever; genuine lag re-triggers it through the
+    /// next ChainInfo frontier hint.
+    std::size_t adopted_since_request{0};
+  };
+
+  /// Bounded recent-hash set for forward dedup: open addressing over a
+  /// power-of-two table, cleared wholesale at 3/4 occupancy (that is the
+  /// dedup window; re-forwards of *committed* requests are caught by the
+  /// commit index regardless, so clearing only re-opens a brief window for
+  /// in-flight duplicates a Byzantine relay could inject anyway).
+  class RecentSet {
+   public:
+    explicit RecentSet(std::size_t capacity = 4096) : slots_(capacity, 0) {
+      // The probe masks below require a power-of-two table.
+      TBFT_ASSERT(capacity > 0 && (capacity & (capacity - 1)) == 0);
+    }
+
+    [[nodiscard]] bool contains(std::uint64_t h) const noexcept {
+      if (h == 0) h = 1;  // 0 marks empty cells
+      const std::size_t mask = slots_.size() - 1;
+      std::size_t i = static_cast<std::size_t>(mix64(h)) & mask;
+      while (slots_[i] != 0) {
+        if (slots_[i] == h) return true;
+        i = (i + 1) & mask;
+      }
+      return false;
+    }
+
+    void insert(std::uint64_t h) {
+      if (h == 0) h = 1;
+      if ((used_ + 1) * 4 > slots_.size() * 3) {
+        std::fill(slots_.begin(), slots_.end(), 0);
+        used_ = 0;
+      }
+      const std::size_t mask = slots_.size() - 1;
+      std::size_t i = static_cast<std::size_t>(mix64(h)) & mask;
+      while (slots_[i] != 0) {
+        if (slots_[i] == h) return;
+        i = (i + 1) & mask;
+      }
+      slots_[i] = h;
+      ++used_;
+    }
+
+   private:
+    std::vector<std::uint64_t> slots_;
+    std::size_t used_{0};
+  };
+
   MultishotConfig cfg_;
   QuorumParams qp_;
   ChainStore chain_;
   SlotWindow<SlotState> slots_{ChainStore::kWindow + 1, 1};
   SlotWindow<ClaimSlab> chain_claims_{kClaimWindow + 1, 1};
   BoundedMempool mempool_;
+  SyncState sync_;
+  RecentSet forward_seen_;
   CommitHook commit_hook_;
   /// Batch timers currently armed across the window (fast-path gate for the
   /// submit_tx wake scan).
@@ -323,6 +441,13 @@ class MultishotNode : public sim::ProtocolNode {
   std::map<Slot, sim::SimTime> notarized_at_;
   std::map<Slot, sim::SimTime> first_proposal_at_;
 };
+
+/// Definition 2 (Consistency) over every pair of observed finalized chains,
+/// compaction-aware: resident overlaps compare blocks byte-equal; prefixes
+/// reaching below a tail compare through cumulative prefix digests. nullptr
+/// entries (crashed/foreign nodes) are skipped. Shared by the workload rig,
+/// the test cluster helpers and the examples.
+[[nodiscard]] bool chains_prefix_consistent(const std::vector<MultishotNode*>& nodes);
 
 /// Honest except it never proposes for the slots in `skip` (at any view):
 /// drives the Fig. 3 failed-block scenario deterministically.

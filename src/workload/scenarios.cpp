@@ -19,24 +19,7 @@ const char* preset_name(Preset p) {
 }
 
 bool WorkloadRig::chains_consistent() const {
-  const multishot::MultishotNode* longest = nullptr;
-  for (const auto* node : nodes) {
-    if (node == nullptr) continue;
-    if (longest == nullptr ||
-        node->finalized_chain().size() > longest->finalized_chain().size()) {
-      longest = node;
-    }
-  }
-  if (longest == nullptr) return true;
-  const auto& ref = longest->finalized_chain();
-  for (const auto* node : nodes) {
-    if (node == nullptr) continue;
-    const auto& ch = node->finalized_chain();
-    for (std::size_t i = 0; i < ch.size(); ++i) {
-      if (!(ch[i] == ref[i])) return false;
-    }
-  }
-  return true;
+  return multishot::chains_prefix_consistent(nodes);
 }
 
 WorkloadRig make_rig(const ScenarioOptions& opts) {

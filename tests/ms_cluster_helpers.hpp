@@ -34,38 +34,21 @@ struct MsCluster {
     return static_cast<sim::SimTime>(opts.timeout_delta_multiple) * opts.delta_bound;
   }
 
-  [[nodiscard]] std::size_t min_finalized() const {
-    std::size_t len = SIZE_MAX;
+  [[nodiscard]] Slot min_finalized() const {
+    Slot len = UINT64_MAX;
     for (const auto* node : nodes) {
-      if (node != nullptr) len = std::min(len, node->finalized_chain().size());
+      if (node != nullptr) len = std::min(len, node->finalized_count());
     }
-    return len == SIZE_MAX ? 0 : len;
+    return len == UINT64_MAX ? 0 : len;
   }
 
   /// Every pair of finalized chains: one is a prefix of the other, and
   /// common slots carry identical blocks (Definition 2, Consistency).
   [[nodiscard]] bool chains_consistent() const {
-    const multishot::MultishotNode* longest = nullptr;
-    for (const auto* node : nodes) {
-      if (node == nullptr) continue;
-      if (longest == nullptr ||
-          node->finalized_chain().size() > longest->finalized_chain().size()) {
-        longest = node;
-      }
-    }
-    if (longest == nullptr) return true;
-    const auto& ref = longest->finalized_chain();
-    for (const auto* node : nodes) {
-      if (node == nullptr) continue;
-      const auto& ch = node->finalized_chain();
-      for (std::size_t i = 0; i < ch.size(); ++i) {
-        if (!(ch[i] == ref[i])) return false;
-      }
-    }
-    return true;
+    return multishot::chains_prefix_consistent(nodes);
   }
 
-  bool run_until_finalized(std::size_t target, sim::SimTime deadline) {
+  bool run_until_finalized(Slot target, sim::SimTime deadline) {
     return sim->run_until_pred([this, target] { return min_finalized() >= target; }, deadline);
   }
 };

@@ -59,8 +59,9 @@ TEST(Chain, FinalizationNeedsFourConsecutiveNotarizations) {
   }
   c.notarize(4, 0, blocks[3].hash());
   EXPECT_EQ(c.try_finalize(), 1u);
-  ASSERT_EQ(c.finalized_chain().size(), 1u);
-  EXPECT_EQ(c.finalized_chain()[0], blocks[0]);
+  ASSERT_EQ(c.finalized_count(), 1u);
+  ASSERT_NE(c.block_at(1), nullptr);
+  EXPECT_EQ(*c.block_at(1), blocks[0]);
   EXPECT_EQ(c.first_unfinalized(), 2u);
 }
 
@@ -123,7 +124,8 @@ TEST(Chain, MixedViewNotarizationsStillFinalize) {
   c.add_block(b4);
   c.notarize(4, 0, b4.hash());
   EXPECT_EQ(c.try_finalize(), 1u);
-  EXPECT_EQ(c.finalized_chain()[0], b1);
+  ASSERT_NE(c.block_at(1), nullptr);
+  EXPECT_EQ(*c.block_at(1), b1);
 }
 
 TEST(Chain, ForceFinalizeRequiresChainExtension) {
@@ -267,7 +269,7 @@ TEST(Chain, LongRunLiveStateStaysBoundedByWindow) {
     c.try_finalize();
     ASSERT_LE(c.pending_entries(), 8u) << "slot " << s;
   }
-  EXPECT_EQ(c.finalized_chain().size(), 1997u);  // depth-4 tail stays pending
+  EXPECT_EQ(c.finalized_count(), 1997u);  // depth-4 tail stays pending
   EXPECT_LE(c.window_slabs(), ChainStore::kWindow + 1);
   // The survivors are exactly the 3-slot notarized tail the depth-4 rule
   // cannot finalize yet.

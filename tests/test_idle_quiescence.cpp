@@ -22,7 +22,7 @@ struct IdleRig {
   MultishotConfig cfg;
 };
 
-IdleRig make_idle_rig(std::uint32_t n = 4) {
+IdleRig make_idle_rig(std::uint32_t n = 4, bool forward_to_leader = true) {
   sim::SimConfig sc;
   sc.net.gst = 0;
   sc.net.delta_actual = 1 * sim::kMillisecond;
@@ -32,6 +32,7 @@ IdleRig make_idle_rig(std::uint32_t n = 4) {
   rig.cfg.n = n;
   rig.cfg.f = (n - 1) / 3;
   rig.cfg.max_slots = 0;  // unbounded chain: idle suppression active
+  rig.cfg.forward_to_leader = forward_to_leader;
   rig.sim = std::make_unique<sim::Simulation>(sc);
   for (std::uint32_t i = 0; i < n; ++i) {
     auto node = std::make_unique<MultishotNode>(rig.cfg);
@@ -49,7 +50,7 @@ TEST(IdleQuiescence, IdleNetworkProducesNoFillerAndQuiesces) {
   // dormant, and nothing re-armed them -- no events remain anywhere.
   EXPECT_EQ(rig.sim->armed_timer_count(), 0u);
   for (const auto* node : rig.nodes) {
-    EXPECT_TRUE(node->finalized_chain().empty());
+    EXPECT_EQ(node->finalized_count(), 0u);
   }
   // Not a single message crossed the wire: no proposals, no view changes.
   EXPECT_EQ(rig.sim->trace().messages().size(), 0u);
@@ -72,22 +73,53 @@ TEST(IdleQuiescence, ResumesOnSubmissionToTheFrontierLeader) {
   // The pipeline ran just long enough to finalize the transaction block
   // (the filler suffix driving its depth-4 finality stays unfinalized,
   // give or take one pipelining race), then went idle again.
-  const std::size_t len = rig.nodes[0]->finalized_chain().size();
+  const Slot len = rig.nodes[0]->finalized_count();
   EXPECT_GE(len, 1u);
   EXPECT_LE(len, 6u);
   const auto traffic = rig.sim->trace().messages().size();
   rig.sim->run_until(rig.sim->now() + 2 * sim::kSecond);
   EXPECT_EQ(rig.sim->trace().messages().size(), traffic);
-  EXPECT_EQ(rig.nodes[0]->finalized_chain().size(), len);
+  EXPECT_EQ(rig.nodes[0]->finalized_count(), len);
 }
 
-TEST(IdleQuiescence, ResumesViaViewChangeWhenSubmitterIsNotLeader) {
+TEST(IdleQuiescence, ResumesViaForwardingWhenSubmitterIsNotLeader) {
+  // Submitting to a node that does NOT lead the frontier slot used to cost
+  // a ~9 delta view change (leadership had to rotate to the submitter).
+  // With single-hop forwarding the submitter relays the request to the
+  // frontier leader, which proposes ~1 delta later: no view change at all,
+  // and commit lands well inside one view timeout.
   auto rig = make_idle_rig();
   rig.sim->run_to_quiescence(5 * sim::kSecond);
 
-  // Submit to a node that does NOT lead the frontier slot: the submitter's
-  // re-armed timer forces a view change, peers wake on the view-change
-  // message, and leadership rotates until the transaction gets proposed.
+  const NodeId leader = rig.cfg.leader_of(1, 0);
+  const NodeId submitter = (leader + 1) % rig.cfg.n;
+  const std::vector<std::uint8_t> tx = {0xCA, 0xFE};
+  const sim::SimTime submitted_at = rig.sim->now();
+  EXPECT_TRUE(rig.nodes[submitter]->submit_tx(tx));
+
+  const auto committed = [&] {
+    for (const auto* node : rig.nodes) {
+      if (!node->tx_finalized(tx)) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(rig.sim->run_until_pred(committed, 30 * sim::kSecond));
+  EXPECT_LT(rig.sim->now() - submitted_at, rig.cfg.view_timeout());
+
+  const auto& by_type = rig.sim->trace().messages_by_type();
+  EXPECT_EQ(by_type.count(static_cast<std::uint8_t>(multishot::MsType::ViewChange)), 0u);
+  const auto fwd = by_type.find(static_cast<std::uint8_t>(multishot::MsType::ForwardTx));
+  ASSERT_NE(fwd, by_type.end());
+  EXPECT_GE(fwd->second, 1u);
+}
+
+TEST(IdleQuiescence, ResumesViaViewChangeWhenForwardingDisabled) {
+  // The pre-forwarding resume path must keep working (it is also the
+  // fallback when the relay target is crashed): the submitter's re-armed
+  // timer forces a view change and leadership rotates to it.
+  auto rig = make_idle_rig(4, /*forward_to_leader=*/false);
+  rig.sim->run_to_quiescence(5 * sim::kSecond);
+
   const NodeId leader = rig.cfg.leader_of(1, 0);
   const NodeId submitter = (leader + 1) % rig.cfg.n;
   const std::vector<std::uint8_t> tx = {0xCA, 0xFE};
@@ -100,6 +132,8 @@ TEST(IdleQuiescence, ResumesViaViewChangeWhenSubmitterIsNotLeader) {
     return true;
   };
   EXPECT_TRUE(rig.sim->run_until_pred(committed, 30 * sim::kSecond));
+  const auto& by_type = rig.sim->trace().messages_by_type();
+  EXPECT_GT(by_type.count(static_cast<std::uint8_t>(multishot::MsType::ViewChange)), 0u);
 }
 
 TEST(IdleQuiescence, LoadedScenarioQuiescesAfterDrainAndResumes) {
@@ -120,7 +154,7 @@ TEST(IdleQuiescence, LoadedScenarioQuiescesAfterDrainAndResumes) {
   // streaming, every timer goes dormant, the chain length freezes.
   rig.sim->run_to_quiescence(rig.sim->now() + 20 * sim::kSecond);
   EXPECT_EQ(rig.sim->armed_timer_count(), 0u);
-  const std::size_t frozen_len = rig.nodes[0]->finalized_chain().size();
+  const Slot frozen_len = rig.nodes[0]->finalized_count();
   EXPECT_TRUE(rig.chains_consistent());
 
   // New submissions resume the pipeline and commit.
@@ -137,7 +171,7 @@ TEST(IdleQuiescence, LoadedScenarioQuiescesAfterDrainAndResumes) {
     return true;
   };
   EXPECT_TRUE(rig.sim->run_until_pred(resumed, 30 * sim::kSecond));
-  EXPECT_GT(rig.nodes[0]->finalized_chain().size(), frozen_len);
+  EXPECT_GT(rig.nodes[0]->finalized_count(), frozen_len);
   EXPECT_TRUE(rig.chains_consistent());
 }
 
@@ -159,7 +193,7 @@ TEST(IdleQuiescence, BoundedChainsKeepSeedBehavior) {
   sim.start();
   const auto done = [&] {
     for (const auto* node : nodes) {
-      if (node->finalized_chain().size() < 8) return false;
+      if (node->finalized_count() < 8) return false;
     }
     return true;
   };

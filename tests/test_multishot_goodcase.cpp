@@ -50,18 +50,20 @@ TEST(MultishotGood, RoundRobinLeadersProposeTheirOwnSlots) {
   opts.max_slots = 12;
   auto c = make_ms_cluster(opts);
   ASSERT_TRUE(c.run_until_finalized(8, 10 * c.timeout()));
-  const auto& chain = c.nodes[0]->finalized_chain();
-  for (std::size_t i = 0; i < 8; ++i) {
-    EXPECT_EQ(chain[i].proposer, (chain[i].slot) % opts.n) << "slot " << chain[i].slot;
+  for (Slot s = 1; s <= 8; ++s) {
+    const multishot::Block* b = c.nodes[0]->block_at(s);
+    ASSERT_NE(b, nullptr) << "slot " << s;
+    EXPECT_EQ(b->proposer, b->slot % opts.n) << "slot " << s;
   }
 }
 
 TEST(MultishotGood, ParentHashesFormAChain) {
   auto c = make_ms_cluster({});
   ASSERT_TRUE(c.run_until_finalized(8, 10 * c.timeout()));
-  const auto& chain = c.nodes[1]->finalized_chain();
+  const multishot::MultishotNode* node = c.nodes[1];
   std::uint64_t parent = multishot::kGenesisHash;
-  for (const auto& b : chain) {
+  for (Slot s = 1; s <= node->finalized_count(); ++s) {
+    const multishot::Block& b = *node->block_at(s);
     EXPECT_EQ(b.parent_hash, parent) << "slot " << b.slot;
     parent = b.hash();
   }

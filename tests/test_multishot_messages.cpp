@@ -62,6 +62,7 @@ TEST(MsMessages, ViewChangeRoundtrip) {
 
 TEST(MsMessages, ChainInfoRoundtrip) {
   MsChainInfo info;
+  info.frontier = 3;
   info.blocks.push_back(sample_block(1));
   info.blocks.push_back(sample_block(2));
   EXPECT_EQ(roundtrip(info), info);
@@ -72,8 +73,66 @@ TEST(MsMessages, ChainInfoBlockCapEnforced) {
   // before any allocation happens.
   serde::Writer w;
   w.u8(static_cast<std::uint8_t>(MsType::ChainInfo));
+  w.u64(1);  // frontier
   w.varint(MsChainInfo::kMaxBlocks + 1);
   EXPECT_FALSE(decode_ms(w.data()).has_value());
+}
+
+TEST(MsMessages, ChainInfoFrontierZeroRejected) {
+  serde::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsType::ChainInfo));
+  w.u64(0);  // frontier: first unfinalized slot is always >= 1
+  w.varint(0);
+  EXPECT_FALSE(decode_ms(w.data()).has_value());
+}
+
+TEST(MsMessages, SyncRequestRoundtripAndBounds) {
+  const MsSyncRequest m{5, 37};
+  EXPECT_EQ(roundtrip(m), m);
+  // Empty or inverted ranges are malformed.
+  for (const auto& bad : {MsSyncRequest{5, 5}, MsSyncRequest{5, 2}, MsSyncRequest{0, 4}}) {
+    const auto bytes = encode_ms(MsMessage{bad});
+    EXPECT_FALSE(decode_ms(bytes).has_value());
+  }
+}
+
+TEST(MsMessages, SyncChunkRoundtrip) {
+  MsSyncChunk m;
+  m.frontier = 9;
+  m.start = 3;
+  m.blocks.push_back(sample_block(3));
+  m.blocks.push_back(sample_block(4));
+  EXPECT_EQ(roundtrip(m), m);
+  // Frontier-only refusal chunk (no blocks) is well-formed.
+  MsSyncChunk hint;
+  hint.frontier = 9;
+  EXPECT_EQ(roundtrip(hint), hint);
+}
+
+TEST(MsMessages, SyncChunkNonConsecutiveSlotsRejected) {
+  MsSyncChunk m;
+  m.frontier = 9;
+  m.start = 3;
+  m.blocks.push_back(sample_block(3));
+  m.blocks.push_back(sample_block(5));  // gap: decode must refuse
+  const auto bytes = encode_ms(MsMessage{m});
+  EXPECT_FALSE(decode_ms(bytes).has_value());
+}
+
+TEST(MsMessages, SyncChunkBlockCapEnforced) {
+  serde::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsType::SyncChunk));
+  w.u64(9);  // frontier
+  w.u64(1);  // start
+  w.varint(MsSyncChunk::kMaxBlocksPerChunk + 1);
+  EXPECT_FALSE(decode_ms(w.data()).has_value());
+}
+
+TEST(MsMessages, ForwardTxRoundtripAndEmptyRejected) {
+  const MsForwardTx m{{0xDE, 0xAD, 0xBE, 0xEF}};
+  EXPECT_EQ(roundtrip(m), m);
+  const auto bytes = encode_ms(MsMessage{MsForwardTx{}});
+  EXPECT_FALSE(decode_ms(bytes).has_value());
 }
 
 TEST(MsMessages, SlotZeroRejected) {

@@ -56,10 +56,11 @@ TEST(MultishotViewChange, ReProposedSlotsUseTheNewView) {
   // Slot 2's block must exist in every finalized chain, proposed by the
   // view-1 leader (node 3 = (2+1) % 4), not the silent node 2.
   for (auto* node : c.nodes) {
-    const auto& chain = node->finalized_chain();
-    ASSERT_GE(chain.size(), 2u);
-    EXPECT_EQ(chain[1].slot, 2u);
-    EXPECT_EQ(chain[1].proposer, 3u);
+    ASSERT_GE(node->finalized_count(), 2u);
+    const multishot::Block* b2 = node->block_at(2);
+    ASSERT_NE(b2, nullptr);
+    EXPECT_EQ(b2->slot, 2u);
+    EXPECT_EQ(b2->proposer, 3u);
   }
 }
 
@@ -72,8 +73,8 @@ TEST(MultishotViewChange, NotarizedButUnfinalizedSlotMayBeReplaced) {
   EXPECT_TRUE(c.chains_consistent());
   // Slot 1's finalized proposer: view-1 leader of slot 1 is node 2... but
   // node 2 is only silent for slot 2, so it may propose slot 1 at view 1.
-  const auto& chain = c.nodes[0]->finalized_chain();
-  EXPECT_EQ(chain[0].slot, 1u);
+  ASSERT_NE(c.nodes[0]->block_at(1), nullptr);
+  EXPECT_EQ(c.nodes[0]->block_at(1)->slot, 1u);
 }
 
 TEST(MultishotViewChange, RecoveryWithinOneTimeoutPlusFiveDelta) {
@@ -159,10 +160,10 @@ TEST(MultishotViewChange, StragglerCatchesUpViaChainInfo) {
   };
   auto c = make_ms_cluster(opts);
   ASSERT_TRUE(c.sim->run_until_pred(
-      [&] { return c.nodes[0]->finalized_chain().size() >= 5; }, gst));
-  EXPECT_EQ(c.nodes[3]->finalized_chain().size(), 0u);
+      [&] { return c.nodes[0]->finalized_count() >= 5; }, gst));
+  EXPECT_EQ(c.nodes[3]->finalized_count(), 0u);
   ASSERT_TRUE(c.sim->run_until_pred(
-      [&] { return c.nodes[3]->finalized_chain().size() >= 5; }, gst + 50 * c.timeout()));
+      [&] { return c.nodes[3]->finalized_count() >= 5; }, gst + 50 * c.timeout()));
   EXPECT_TRUE(c.chains_consistent());
 }
 
