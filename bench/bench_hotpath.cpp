@@ -122,8 +122,8 @@ CheckResult check_broadcast_counters(std::uint32_t n) {
   }
 
   auto& stats = sim::Payload::stats();
-  const auto frozen0 = stats.frozen;
-  const auto copies0 = stats.buffer_copies;
+  const std::uint64_t frozen0 = stats.frozen;
+  const std::uint64_t copies0 = stats.buffer_copies;
   simulation.start();
   simulation.run_to_quiescence(10 * sim::kSecond);
 
@@ -193,7 +193,7 @@ Throughput run_flood(std::uint32_t n, int rounds) {
   for (std::uint32_t i = 0; i < n; ++i) {
     simulation.add_node(std::make_unique<FloodNode>(rounds));
   }
-  const auto frozen0 = sim::Payload::stats().frozen;
+  const std::uint64_t frozen0 = sim::Payload::stats().frozen;
   const auto t0 = std::chrono::steady_clock::now();
   simulation.start();
   simulation.run_to_quiescence(3600 * sim::kSecond);

@@ -1,66 +1,88 @@
-// Quickstart: run single-shot TetraBFT among four simulated nodes (one
-// fault budget) and watch them decide the leader's value in exactly five
-// message delays.
+// Quickstart: run multi-shot TetraBFT through the public facade
+// (tetrabft.hpp) -- first as a real-time in-process cluster (one thread per
+// node, wall-clock time), then the same configuration under the
+// deterministic simulator. The protocol nodes are the identical binaries in
+// both runs; only the Host behind the runtime API changes.
 //
-//   ./build/examples/quickstart
+//   ./build/quickstart
 
+#include <atomic>
 #include <cstdio>
 
-#include "core/node.hpp"
-#include "sim/runtime.hpp"
+#include "tetrabft.hpp"
 
 using namespace tbft;
 
 int main() {
-  // 1. A simulated partially-synchronous network: synchronous from the
-  //    start (GST = 0), actual delay 1ms, known bound Delta = 10ms.
-  sim::SimConfig sc;
-  sc.net.gst = 0;
-  sc.net.delta_actual = 1 * sim::kMillisecond;
-  sc.net.delta_bound = 10 * sim::kMillisecond;
-  sim::Simulation simulation(sc);
+  constexpr std::uint32_t kTxs = 32;
 
-  // 2. Four TetraBFT nodes; node i proposes value 100+i when it leads.
-  //    Round-robin leadership makes node 0 the view-0 leader.
-  std::vector<core::TetraNode*> nodes;
-  for (NodeId i = 0; i < 4; ++i) {
-    core::TetraConfig cfg;
-    cfg.n = 4;
-    cfg.f = 1;
-    cfg.delta_bound = sc.net.delta_bound;
-    cfg.initial_value = Value{100 + i};
-    auto node = std::make_unique<core::TetraNode>(cfg);
-    nodes.push_back(node.get());
-    simulation.add_node(std::move(node));
+  // 1. Configure once: four nodes (one fault tolerated), one transaction
+  //    per block. Pre-start seeding + forwarding off + a generous Delta is
+  //    the *deterministic* configuration (the one the cross-runner
+  //    equivalence test pins down): transaction j lands in slot j+1 under
+  //    any host, so the two chains below must match block for block.
+  ClusterBuilder builder;
+  builder.nodes(4)
+      .delta_bound(1 * runtime::kSecond)
+      .batching(/*max_txs=*/1, /*max_bytes=*/4096)
+      .forwarding(false);
+
+  // 2. Real-time cluster: node threads, mutex mailboxes, steady-clock
+  //    timers. Commits stream back on replica threads; slots finalize in
+  //    order, so replica 0 committing slot kTxs means every transaction
+  //    (slots 1..kTxs) is in its chain.
+  auto cluster = builder.build_local();
+  std::atomic<std::uint64_t> tip0{0};
+  std::atomic<std::int64_t> last_commit_us{0};
+  cluster->on_commit([&](const runtime::Commit& c) {
+    if (c.node == 0) {
+      tip0.store(c.stream);
+      last_commit_us.store(c.at);
+    }
+  });
+
+  std::printf("submitting %u transactions to a 4-node real-time cluster...\n", kTxs);
+  for (std::uint32_t j = 0; j < kTxs; ++j) {
+    cluster->node(j % 4).submit({'t', 'x', static_cast<std::uint8_t>(j)});
   }
-
-  // 3. Run until everyone decided.
-  simulation.start();
-  const bool done = simulation.run_until_pred(
-      [&] {
-        for (auto* n : nodes) {
-          if (!n->decision()) return false;
-        }
-        return true;
-      },
-      sim::kSecond);
-
+  cluster->start();
+  const bool done =
+      cluster->wait_for([&] { return tip0.load() >= kTxs; }, 30 * runtime::kSecond);
+  cluster->stop();
   if (!done) {
-    std::printf("no decision within the deadline -- this should not happen\n");
+    std::printf("cluster did not commit everything in time -- this should not happen\n");
     return 1;
   }
 
-  std::printf("all four nodes decided:\n");
-  for (NodeId i = 0; i < 4; ++i) {
-    const auto d = simulation.trace().decision_of(i);
-    std::printf("  node %u -> value %llu at t = %lld us (= %lld message delays)\n", i,
-                static_cast<unsigned long long>(nodes[i]->decision()->id),
-                static_cast<long long>(d->at),
-                static_cast<long long>(d->at / sc.net.delta_actual));
+  std::printf("replica 0 finalized %llu slots in %.2f ms of wall-clock time\n",
+              static_cast<unsigned long long>(cluster->replica(0).finalized_count()),
+              static_cast<double>(last_commit_us.load()) / runtime::kMillisecond);
+
+  // 3. The same configuration under the simulator: virtual time, seeded,
+  //    deterministic -- the verification tool of record.
+  auto sim_cluster = builder.build_sim();
+  for (std::uint32_t j = 0; j < kTxs; ++j) {
+    sim_cluster->submit(j % 4, {'t', 'x', static_cast<std::uint8_t>(j)});
   }
-  std::printf("\nproposal + vote-1..vote-4 = 5 message delays (paper Table 1),\n");
-  std::printf("%llu network messages, %llu bytes, no signatures anywhere.\n",
-              static_cast<unsigned long long>(simulation.trace().total_messages()),
-              static_cast<unsigned long long>(simulation.trace().total_bytes()));
-  return 0;
+  sim_cluster->start();
+  if (!sim_cluster->run_until_all_finalized(kTxs, 60 * runtime::kSecond)) {
+    std::printf("simulation did not finalize -- this should not happen\n");
+    return 1;
+  }
+  std::printf("simulation finalized %llu slots in %lld ms of *simulated* time "
+              "(%llu messages, %llu bytes, no signatures anywhere)\n",
+              static_cast<unsigned long long>(sim_cluster->replica(0).finalized_count()),
+              static_cast<long long>(sim_cluster->simulation().now() / runtime::kMillisecond),
+              static_cast<unsigned long long>(sim_cluster->simulation().trace().total_messages()),
+              static_cast<unsigned long long>(sim_cluster->simulation().trace().total_bytes()));
+
+  // 4. Same protocol, same seeds, two hosts: the chains agree block for
+  //    block (the cross-runner equivalence the test suite enforces).
+  std::vector<multishot::MultishotNode*> chains;
+  for (NodeId i = 0; i < 4; ++i) chains.push_back(&cluster->replica(i));
+  for (NodeId i = 0; i < 4; ++i) chains.push_back(&sim_cluster->replica(i));
+  const bool consistent = multishot::chains_prefix_consistent(chains);
+  std::printf("real-time and simulated chains consistent: %s\n",
+              consistent ? "yes" : "NO (bug!)");
+  return consistent ? 0 : 1;
 }

@@ -11,7 +11,7 @@
 
 #include "common/types.hpp"
 #include "core/messages.hpp"  // reuses VoteRef as (view, value) record
-#include "sim/runtime.hpp"
+#include "runtime/host.hpp"
 
 namespace tbft::baselines {
 
@@ -80,13 +80,13 @@ class VoteTally {
 struct BaselineConfig {
   std::uint32_t n{4};
   std::uint32_t f{1};
-  sim::SimTime delta_bound{10 * sim::kMillisecond};
+  runtime::Duration delta_bound{10 * runtime::kMillisecond};
   std::uint32_t timeout_delta_multiple{10};
   Value initial_value{1};
 
   [[nodiscard]] QuorumParams quorum_params() const { return {n, f}; }
-  [[nodiscard]] sim::SimTime view_timeout() const {
-    return static_cast<sim::SimTime>(timeout_delta_multiple) * delta_bound;
+  [[nodiscard]] runtime::Duration view_timeout() const {
+    return static_cast<runtime::Duration>(timeout_delta_multiple) * delta_bound;
   }
   [[nodiscard]] NodeId leader_of(View v) const {
     return static_cast<NodeId>(static_cast<std::uint64_t>(v) % n);

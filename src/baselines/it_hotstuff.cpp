@@ -106,7 +106,7 @@ void ItHotStuffNode::send_phase(int phase, Value value) {
 void ItHotStuffNode::decide(Value value) {
   if (decision_) return;
   decision_ = value;
-  ctx().report_decision(0, value);
+  ctx().publish_commit(0, value);
 }
 
 void ItHotStuffNode::initiate_view_change(View target) {
@@ -116,13 +116,13 @@ void ItHotStuffNode::initiate_view_change(View target) {
   ctx().broadcast(w.take());
 }
 
-void ItHotStuffNode::on_timer(sim::TimerId id) {
+void ItHotStuffNode::on_timer(runtime::TimerId id) {
   if (id != timer_ || decision_) return;
   initiate_view_change(std::max(view_ + 1, highest_vc_sent_));
   timer_ = ctx().set_timer(cfg_.view_timeout());
 }
 
-void ItHotStuffNode::on_message(NodeId from, const sim::Payload& payload) {
+void ItHotStuffNode::on_message(NodeId from, const Payload& payload) {
   serde::Reader r(payload);
   const auto tag = static_cast<ItMsg>(r.u8());
   if (!r.ok()) return;

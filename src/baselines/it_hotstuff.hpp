@@ -30,15 +30,15 @@ enum class ItMsg : std::uint8_t {
   Decide = 26,
 };
 
-class ItHotStuffNode : public sim::ProtocolNode {
+class ItHotStuffNode : public runtime::ProtocolNode {
  public:
   static constexpr int kEcho = 1, kKey1 = 2, kKey3 = 4, kLock = 5, kPhases = 5;
 
   explicit ItHotStuffNode(BaselineConfig cfg) : cfg_(cfg), qp_(cfg.quorum_params()) {}
 
   void on_start() override;
-  void on_message(NodeId from, const sim::Payload& payload) override;
-  void on_timer(sim::TimerId id) override;
+  void on_message(NodeId from, const Payload& payload) override;
+  void on_timer(runtime::TimerId id) override;
 
   [[nodiscard]] const std::optional<Value>& decision() const noexcept { return decision_; }
   [[nodiscard]] View current_view() const noexcept { return view_; }
@@ -75,7 +75,7 @@ class ItHotStuffNode : public sim::ProtocolNode {
   ViewChangeCounter vc_;
   std::vector<bool> decide_claimed_;
   std::map<Value, std::set<NodeId>> decide_claims_;
-  sim::TimerId timer_{0};
+  runtime::TimerId timer_{0};
 };
 
 }  // namespace tbft::baselines

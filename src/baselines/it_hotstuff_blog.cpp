@@ -101,7 +101,7 @@ void ItHotStuffBlogNode::send_phase(int phase, Value value) {
 void ItHotStuffBlogNode::decide(Value value) {
   if (decision_) return;
   decision_ = value;
-  ctx().report_decision(0, value);
+  ctx().publish_commit(0, value);
 }
 
 void ItHotStuffBlogNode::initiate_view_change(View target) {
@@ -111,7 +111,7 @@ void ItHotStuffBlogNode::initiate_view_change(View target) {
   ctx().broadcast(w.take());
 }
 
-void ItHotStuffBlogNode::on_timer(sim::TimerId id) {
+void ItHotStuffBlogNode::on_timer(runtime::TimerId id) {
   if (id == propose_timer_) {
     propose_timer_ = 0;
     propose_after_wait();
@@ -122,7 +122,7 @@ void ItHotStuffBlogNode::on_timer(sim::TimerId id) {
   view_timer_ = ctx().set_timer(cfg_.view_timeout());
 }
 
-void ItHotStuffBlogNode::on_message(NodeId from, const sim::Payload& payload) {
+void ItHotStuffBlogNode::on_message(NodeId from, const Payload& payload) {
   serde::Reader r(payload);
   const auto tag = static_cast<BlogMsg>(r.u8());
   if (!r.ok()) return;

@@ -25,15 +25,15 @@ enum class BlogMsg : std::uint8_t {
   Decide = 35,
 };
 
-class ItHotStuffBlogNode : public sim::ProtocolNode {
+class ItHotStuffBlogNode : public runtime::ProtocolNode {
  public:
   static constexpr int kEcho = 1, kLock = 3, kPhases = 3;
 
   explicit ItHotStuffBlogNode(BaselineConfig cfg) : cfg_(cfg), qp_(cfg.quorum_params()) {}
 
   void on_start() override;
-  void on_message(NodeId from, const sim::Payload& payload) override;
-  void on_timer(sim::TimerId id) override;
+  void on_message(NodeId from, const Payload& payload) override;
+  void on_timer(runtime::TimerId id) override;
 
   [[nodiscard]] const std::optional<Value>& decision() const noexcept { return decision_; }
   [[nodiscard]] View current_view() const noexcept { return view_; }
@@ -67,8 +67,8 @@ class ItHotStuffBlogNode : public sim::ProtocolNode {
   ViewChangeCounter vc_;
   std::vector<bool> decide_claimed_;
   std::map<Value, std::set<NodeId>> decide_claims_;
-  sim::TimerId view_timer_{0};
-  sim::TimerId propose_timer_{0};  // the non-responsive leader wait
+  runtime::TimerId view_timer_{0};
+  runtime::TimerId propose_timer_{0};  // the non-responsive leader wait
 };
 
 }  // namespace tbft::baselines

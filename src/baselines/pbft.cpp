@@ -93,7 +93,7 @@ void PbftNode::try_prepare() {
 void PbftNode::decide(Value value) {
   if (decision_) return;
   decision_ = value;
-  ctx().report_decision(0, value);
+  ctx().publish_commit(0, value);
 }
 
 void PbftNode::initiate_view_change(View target) {
@@ -107,13 +107,13 @@ void PbftNode::initiate_view_change(View target) {
   ctx().broadcast(w.take());
 }
 
-void PbftNode::on_timer(sim::TimerId id) {
+void PbftNode::on_timer(runtime::TimerId id) {
   if (id != timer_ || decision_) return;
   initiate_view_change(std::max(view_ + 1, highest_vc_sent_));
   timer_ = ctx().set_timer(cfg_.view_timeout());
 }
 
-void PbftNode::on_message(NodeId from, const sim::Payload& payload) {
+void PbftNode::on_message(NodeId from, const Payload& payload) {
   if (keep_full_log_) log_bytes_ += payload.size();  // unbounded variant
 
   serde::Reader r(payload);

@@ -36,14 +36,14 @@ enum class PbftMsg : std::uint8_t {
   Decide = 47,
 };
 
-class PbftNode : public sim::ProtocolNode {
+class PbftNode : public runtime::ProtocolNode {
  public:
   explicit PbftNode(BaselineConfig cfg, bool keep_full_log = false)
       : cfg_(cfg), qp_(cfg.quorum_params()), keep_full_log_(keep_full_log) {}
 
   void on_start() override;
-  void on_message(NodeId from, const sim::Payload& payload) override;
-  void on_timer(sim::TimerId id) override;
+  void on_message(NodeId from, const Payload& payload) override;
+  void on_timer(runtime::TimerId id) override;
 
   [[nodiscard]] const std::optional<Value>& decision() const noexcept { return decision_; }
   [[nodiscard]] View current_view() const noexcept { return view_; }
@@ -91,7 +91,7 @@ class PbftNode : public sim::ProtocolNode {
   ViewChangeCounter vc_;
   std::vector<bool> decide_claimed_;
   std::map<Value, std::set<NodeId>> decide_claims_;
-  sim::TimerId timer_{0};
+  runtime::TimerId timer_{0};
 };
 
 }  // namespace tbft::baselines

@@ -16,8 +16,28 @@
 // point-to-point or hand-crafted (Byzantine test double) payloads see no
 // cache and take the total-decode path.
 //
+// ---- Thread-safety contract (the LocalRunner runs one thread per node) ----
+//
+//  - The reference count is atomic: distinct Payload handles to the same
+//    buffer may be copied/moved/destroyed concurrently from different
+//    threads. (One *handle* is still single-owner: two threads may not
+//    mutate the same Payload object without external synchronization --
+//    the usual shared_ptr rule.)
+//  - Bytes and the decode cache are write-once-before-publish: they are
+//    written by the creating thread only, before the payload is handed to
+//    any other thread, and are immutable afterwards. Publication (pushing
+//    into a sim event queue or a LocalRunner mailbox, both under a mutex)
+//    provides the happens-before edge, so receivers read bytes() and
+//    cached<M>() without synchronization. attach_decoded on a payload that
+//    another thread can already see is a contract violation.
+//  - Stats counters are relaxed atomics: totals are exact, cross-counter
+//    snapshots are not ordered. The single-threaded simulation pays one
+//    uncontended atomic op per counter bump, which bench_hotpath's
+//    invariants comfortably absorb.
+//
 // Counters in Payload::stats() feed bench_hotpath's copy/alloc assertions.
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
@@ -33,16 +53,24 @@ namespace tbft {
 
 class Payload {
  public:
-  /// Global accounting (single-threaded simulation; plain counters).
+  /// Global accounting. Relaxed atomics: exact totals, safe under the
+  /// threaded runner; no ordering between counters is implied.
   struct Stats {
-    std::uint64_t frozen{0};        // payloads created from a scratch Writer
-    std::uint64_t adopted{0};       // payloads that adopted a byte vector
-    std::uint64_t buffer_copies{0}; // deep byte-buffer duplications (hot path: 0)
-    std::uint64_t caches_attached{0};
-    std::uint64_t cache_hits{0};
-    std::uint64_t cache_misses{0};
+    std::atomic<std::uint64_t> frozen{0};         // payloads created from a scratch Writer
+    std::atomic<std::uint64_t> adopted{0};        // payloads that adopted a byte vector
+    std::atomic<std::uint64_t> buffer_copies{0};  // deep byte-buffer duplications (hot path: 0)
+    std::atomic<std::uint64_t> caches_attached{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
 
-    void reset() noexcept { *this = Stats{}; }
+    void reset() noexcept {
+      frozen.store(0, std::memory_order_relaxed);
+      adopted.store(0, std::memory_order_relaxed);
+      buffer_copies.store(0, std::memory_order_relaxed);
+      caches_attached.store(0, std::memory_order_relaxed);
+      cache_hits.store(0, std::memory_order_relaxed);
+      cache_misses.store(0, std::memory_order_relaxed);
+    }
   };
   static Stats& stats() noexcept {
     static Stats s;
@@ -56,21 +84,21 @@ class Payload {
   /// zero-copy.
   Payload(std::vector<std::uint8_t> bytes)  // NOLINT(google-explicit-constructor)
       : rep_(new Rep(std::move(bytes))) {
-    ++stats().adopted;
+    bump(stats().adopted);
   }
 
   Payload(std::initializer_list<std::uint8_t> il)
       : Payload(std::vector<std::uint8_t>(il)) {}
 
   Payload(const Payload& o) noexcept : rep_(o.rep_) {
-    if (rep_ != nullptr) ++rep_->refs;
+    if (rep_ != nullptr) rep_->refs.fetch_add(1, std::memory_order_relaxed);
   }
   Payload(Payload&& o) noexcept : rep_(o.rep_) { o.rep_ = nullptr; }
   Payload& operator=(const Payload& o) noexcept {
     if (this != &o) {
       release();
       rep_ = o.rep_;
-      if (rep_ != nullptr) ++rep_->refs;
+      if (rep_ != nullptr) rep_->refs.fetch_add(1, std::memory_order_relaxed);
     }
     return *this;
   }
@@ -92,7 +120,7 @@ class Payload {
     Payload p;
     const auto bytes = scratch.span();
     p.rep_ = new Rep(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
-    ++stats().frozen;
+    bump(stats().frozen);
     return p;
   }
 
@@ -100,7 +128,7 @@ class Payload {
   static Payload copy_of(std::span<const std::uint8_t> bytes) {
     Payload p;
     p.rep_ = new Rep(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
-    ++stats().buffer_copies;
+    bump(stats().buffer_copies);
     return p;
   }
 
@@ -118,51 +146,61 @@ class Payload {
   [[nodiscard]] std::uint8_t front() const { return rep_->bytes.front(); }
   [[nodiscard]] std::uint8_t operator[](std::size_t i) const { return rep_->bytes[i]; }
 
-  /// Number of owners of the underlying buffer (diagnostics / tests).
+  /// Number of owners of the underlying buffer (diagnostics / tests). A
+  /// racing snapshot under the threaded runner; exact when quiescent.
   [[nodiscard]] long use_count() const noexcept {
-    return rep_ != nullptr ? static_cast<long>(rep_->refs) : 0;
+    return rep_ != nullptr ? static_cast<long>(rep_->refs.load(std::memory_order_relaxed)) : 0;
   }
 
   /// Attach the sender-side decoded form of these bytes. Only legal at the
   /// site that encoded the payload (bytes and cache must agree by
-  /// construction) -- deliberately non-const, so receivers holding the
-  /// `const Payload&` from on_message cannot poison the shared cache.
+  /// construction), *before* the payload is published to any other thread
+  /// (write-once-before-publish, see the header contract) -- deliberately
+  /// non-const, so receivers holding the `const Payload&` from on_message
+  /// cannot poison the shared cache.
   template <class M>
   void attach_decoded(M msg) {
     if (rep_ == nullptr) return;
     rep_->cache = std::make_shared<const M>(std::move(msg));
     rep_->cache_type = &typeid(M);
-    ++stats().caches_attached;
+    bump(stats().caches_attached);
   }
 
   /// The decode cache, if a cache of exactly type M is attached.
   template <class M>
   [[nodiscard]] const M* cached() const noexcept {
     if (rep_ && rep_->cache_type != nullptr && *rep_->cache_type == typeid(M)) {
-      ++stats().cache_hits;
+      bump(stats().cache_hits);
       return static_cast<const M*>(rep_->cache.get());
     }
-    ++stats().cache_misses;
+    bump(stats().cache_misses);
     return nullptr;
   }
 
  private:
-  // Intrusive, non-atomic refcount: the simulation is single-threaded by
-  // design (a pure function of seed + config), and refcount traffic is on
-  // the per-event hot path -- atomics would be pure overhead here.
+  static void bump(std::atomic<std::uint64_t>& counter) noexcept {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Intrusive atomic refcount. Increments are relaxed (an existing owner
+  // keeps the buffer alive while the count is bumped); the decrement is
+  // acq_rel so the final owner's delete observes every other thread's last
+  // use -- the shared_ptr discipline.
   struct Rep {
     explicit Rep(std::vector<std::uint8_t> b) : bytes(std::move(b)) {}
-    std::uint32_t refs{1};
+    std::atomic<std::uint32_t> refs{1};
     std::vector<std::uint8_t> bytes;
     // Decode cache (type-erased so common/ does not depend on protocol
     // message types). Attached once, sender-side, before the payload is
-    // scheduled.
+    // published (see the thread-safety contract above).
     std::shared_ptr<const void> cache;
     const std::type_info* cache_type{nullptr};
   };
 
   void release() noexcept {
-    if (rep_ != nullptr && --rep_->refs == 0) delete rep_;
+    if (rep_ != nullptr && rep_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete rep_;
+    }
     rep_ = nullptr;
   }
 

@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
-#include "sim/time.hpp"
+#include "runtime/time.hpp"
 
 namespace tbft::core {
 
@@ -13,7 +13,7 @@ struct TetraConfig {
   std::uint32_t f{1};
 
   /// Known worst-case post-GST message delay (the paper's Delta).
-  sim::SimTime delta_bound{10 * sim::kMillisecond};
+  runtime::Duration delta_bound{10 * runtime::kMillisecond};
 
   /// View timeout = timeout_delta_multiple * delta_bound. The paper
   /// justifies 9 (2 for view-change spread + 6 for suggest/proof, proposal
@@ -24,8 +24,8 @@ struct TetraConfig {
   Value initial_value{1};
 
   [[nodiscard]] QuorumParams quorum_params() const { return {n, f}; }
-  [[nodiscard]] sim::SimTime view_timeout() const {
-    return static_cast<sim::SimTime>(timeout_delta_multiple) * delta_bound;
+  [[nodiscard]] runtime::Duration view_timeout() const {
+    return static_cast<runtime::Duration>(timeout_delta_multiple) * delta_bound;
   }
 
   /// Round-robin leader schedule.

@@ -22,7 +22,7 @@ void TetraNode::on_start() {
   enter_view(0);
 }
 
-void TetraNode::on_message(NodeId from, const sim::Payload& payload) {
+void TetraNode::on_message(NodeId from, const Payload& payload) {
   // Decode-once fast path: a broadcast carries its decoded form beside the
   // bytes (attached by the encoder of those exact bytes, so it cannot
   // disagree with them); every receiver after the first re-parses nothing.
@@ -46,7 +46,7 @@ void TetraNode::on_message(NodeId from, const sim::Payload& payload) {
   std::visit([this, from](const auto& m) { handle(from, m); }, *msg);
 }
 
-void TetraNode::on_timer(sim::TimerId id) {
+void TetraNode::on_timer(runtime::TimerId id) {
   if (id != view_timer_) return;
   if (decision_) return;  // a decided node no longer initiates view changes
   // Initiate (or retransmit) the view change for the next view; the timer is
@@ -134,7 +134,7 @@ void TetraNode::decide(Value value) {
   if (decision_) return;
   decision_ = value;
   ctx().metrics().counter("core.decided").add();
-  ctx().report_decision(0, value);
+  ctx().publish_commit(0, value);
 }
 
 void TetraNode::handle(NodeId from, const Proposal& p) {
@@ -200,7 +200,7 @@ void TetraNode::handle(NodeId from, const ViewChange& vc) {
   if (decision_ && from != ctx().id()) {
     scratch_.clear();
     Decide{*decision_}.encode(scratch_);
-    ctx().send(from, sim::Payload::freeze(scratch_));
+    ctx().send(from, Payload::freeze(scratch_));
   }
   if (vc.view <= vc_highest_[from]) return;
   vc_highest_[from] = vc.view;

@@ -25,7 +25,7 @@
 #include "core/messages.hpp"
 #include "core/rules.hpp"
 #include "core/vote_record.hpp"
-#include "sim/runtime.hpp"
+#include "runtime/host.hpp"
 
 namespace tbft::core {
 
@@ -47,13 +47,13 @@ struct Decide {
   }
 };
 
-class TetraNode : public sim::ProtocolNode {
+class TetraNode : public runtime::ProtocolNode {
  public:
   explicit TetraNode(TetraConfig cfg);
 
   void on_start() override;
-  void on_message(NodeId from, const sim::Payload& payload) override;
-  void on_timer(sim::TimerId id) override;
+  void on_message(NodeId from, const Payload& payload) override;
+  void on_timer(runtime::TimerId id) override;
 
   [[nodiscard]] const std::optional<Value>& decision() const noexcept { return decision_; }
   [[nodiscard]] View current_view() const noexcept { return view_; }
@@ -143,7 +143,7 @@ class TetraNode : public sim::ProtocolNode {
   // then every encode is a single freeze (see encode_payload).
   serde::Writer scratch_;
 
-  sim::TimerId view_timer_{0};
+  runtime::TimerId view_timer_{0};
 };
 
 }  // namespace tbft::core

@@ -17,7 +17,7 @@
 
 #include "common/hash.hpp"
 #include "common/types.hpp"
-#include "sim/time.hpp"
+#include "runtime/time.hpp"
 
 namespace tbft::multishot {
 
@@ -37,7 +37,7 @@ class BoundedMempool {
     /// Excluded from this node's own batches until then: set when the entry
     /// was forwarded to the frontier leader (the relay owns it; the local
     /// copy is the fallback should the relay fail). 0 = batchable now.
-    sim::SimTime hold_until{0};
+    runtime::Time hold_until{0};
   };
 
   /// Outcome of an admission attempt.

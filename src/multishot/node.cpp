@@ -261,7 +261,7 @@ MultishotNode::BatchDraft MultishotNode::build_batch(View view) {
   BatchDraft draft;
   serde::Writer w;
   w.varint(static_cast<std::uint64_t>(view));  // nonce: distinct across views
-  const sim::SimTime now = ctx().now();
+  const runtime::Time now = ctx().now();
   for (auto& e : mempool_.entries()) {
     if (e.inflight) continue;       // already in one of my outstanding proposals
     if (e.hold_until > now) continue;  // forwarded; the relay owns it for now
@@ -489,7 +489,7 @@ void MultishotNode::finalize_progress() {
 }
 
 void MultishotNode::note_finalized(const Block& b) {
-  ctx().report_decision(b.slot, b.value());
+  ctx().publish_commit(b.slot, b.value(), b.payload);
   // Mempool reconciliation against the winning block: transactions that made
   // it into the chain leave the pool; my inflight transactions attributed to
   // this (or an earlier) slot whose proposal lost/aborted become available
@@ -519,7 +519,7 @@ void MultishotNode::prune_slots() {
   chain_claims_.advance_base(first);
 }
 
-void MultishotNode::on_message(NodeId from, const sim::Payload& payload) {
+void MultishotNode::on_message(NodeId from, const Payload& payload) {
   // Traffic from non-members (e.g. client actors with ids >= n) is ignored:
   // per-sender state below is sized for the n protocol participants.
   if (from >= cfg_.n) return;
@@ -682,7 +682,7 @@ Slot MultishotNode::lowest_unfinalized_started() const {
   return found != 0 ? found : chain_.first_unfinalized();
 }
 
-void MultishotNode::on_timer(sim::TimerId id) {
+void MultishotNode::on_timer(runtime::TimerId id) {
   if (id == sync_.timer) {
     // Range-sync progress timer: with adoptions since the last request,
     // keep the pipeline streaming (cursor re-request, which also rotates to

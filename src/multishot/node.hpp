@@ -49,14 +49,14 @@
 #include "multishot/mempool.hpp"
 #include "multishot/messages.hpp"
 #include "multishot/slot_window.hpp"
-#include "sim/runtime.hpp"
+#include "runtime/host.hpp"
 
 namespace tbft::multishot {
 
 struct MultishotConfig {
   std::uint32_t n{4};
   std::uint32_t f{1};
-  sim::SimTime delta_bound{10 * sim::kMillisecond};
+  runtime::Duration delta_bound{10 * runtime::kMillisecond};
   std::uint32_t timeout_delta_multiple{9};
   /// Leaders do not propose blocks for slots beyond this (0 = unbounded).
   /// Unbounded chains enable idle suppression: see the header comment.
@@ -70,7 +70,7 @@ struct MultishotConfig {
   /// set this small.
   std::size_t finalized_tail{FinalizedStore::kDefaultTailCapacity};
   /// Range-sync progress timeout (re-request cadence). 0 = 3 * delta_bound.
-  sim::SimTime sync_timeout{0};
+  runtime::Duration sync_timeout{0};
 
   // --- Client-request forwarding ---
   /// Forward transactions submitted to a non-leader to the proposal-frontier
@@ -79,7 +79,7 @@ struct MultishotConfig {
   bool forward_to_leader{true};
   /// How long the submitter's local fallback copy stays out of its own
   /// batches after forwarding (relay failure recovery). 0 = 2 * view_timeout().
-  sim::SimTime forward_retry{0};
+  runtime::Duration forward_retry{0};
 
   // --- Leader batching / mempool (workload path, DESIGN_PERF.md) ---
   /// Most transactions a fresh block carries.
@@ -90,14 +90,14 @@ struct MultishotConfig {
   /// When > 0, a view-0 leader with an empty (available) mempool defers its
   /// fresh proposal up to this long waiting for transactions before falling
   /// back to a filler block. 0 = propose immediately (seed behavior).
-  sim::SimTime batch_timeout{0};
+  runtime::Duration batch_timeout{0};
   /// Mempool capacity and behavior at the bound.
   std::size_t mempool_capacity{1024};
   MempoolPolicy mempool_policy{MempoolPolicy::kRejectNew};
 
   [[nodiscard]] QuorumParams quorum_params() const { return {n, f}; }
-  [[nodiscard]] sim::SimTime view_timeout() const {
-    return static_cast<sim::SimTime>(timeout_delta_multiple) * delta_bound;
+  [[nodiscard]] runtime::Duration view_timeout() const {
+    return static_cast<runtime::Duration>(timeout_delta_multiple) * delta_bound;
   }
   /// Per-(slot, view) rotating leader; view 0 walks the ring slot by slot.
   [[nodiscard]] NodeId leader_of(Slot s, View v) const {
@@ -105,13 +105,13 @@ struct MultishotConfig {
   }
 };
 
-class MultishotNode : public sim::ProtocolNode {
+class MultishotNode : public runtime::ProtocolNode {
  public:
   explicit MultishotNode(MultishotConfig cfg);
 
   void on_start() override;
-  void on_message(NodeId from, const sim::Payload& payload) override;
-  void on_timer(sim::TimerId id) override;
+  void on_message(NodeId from, const Payload& payload) override;
+  void on_timer(runtime::TimerId id) override;
 
   /// Submit a transaction; included in the next fresh block this node
   /// proposes, removed once observed in the finalized chain. Returns false
@@ -131,10 +131,10 @@ class MultishotNode : public sim::ProtocolNode {
   /// Bench instrumentation: record the first time each slot notarizes /
   /// each proposal for a slot arrives (unbounded; off by default).
   void set_record_timeline(bool on) noexcept { record_timeline_ = on; }
-  [[nodiscard]] const std::map<Slot, sim::SimTime>& notarized_at() const noexcept {
+  [[nodiscard]] const std::map<Slot, runtime::Time>& notarized_at() const noexcept {
     return notarized_at_;
   }
-  [[nodiscard]] const std::map<Slot, sim::SimTime>& first_proposal_at() const noexcept {
+  [[nodiscard]] const std::map<Slot, runtime::Time>& first_proposal_at() const noexcept {
     return first_proposal_at_;
   }
 
@@ -145,7 +145,7 @@ class MultishotNode : public sim::ProtocolNode {
 
   /// Workload accounting: invoked once per newly finalized block, in slot
   /// order, with the finalization time (src/workload/tracker.hpp).
-  using CommitHook = std::function<void(const Block&, sim::SimTime)>;
+  using CommitHook = std::function<void(const Block&, runtime::Time)>;
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
   [[nodiscard]] const BoundedMempool& mempool() const noexcept { return mempool_; }
@@ -186,8 +186,8 @@ class MultishotNode : public sim::ProtocolNode {
   struct SlotState {
     bool started{false};
     View view{0};
-    sim::TimerId timer{0};
-    sim::TimerId batch_timer{0};  // armed while a fresh proposal waits for txs
+    runtime::TimerId timer{0};
+    runtime::TimerId batch_timer{0};  // armed while a fresh proposal waits for txs
     bool batch_waited{false};     // the batch timeout for this slot expired
     View highest_vc_sent{kNoView};
     std::vector<View> vc_highest;                        // per sender
@@ -308,7 +308,7 @@ class MultishotNode : public sim::ProtocolNode {
   void note_frontier(Slot frontier);
   void maybe_request_sync();
   void send_sync_request();
-  [[nodiscard]] sim::SimTime sync_timeout() const noexcept {
+  [[nodiscard]] runtime::Duration sync_timeout() const noexcept {
     return cfg_.sync_timeout > 0 ? cfg_.sync_timeout : 3 * cfg_.delta_bound;
   }
   /// Demoted ChainInfo reply: frontier plus a short resident suffix from
@@ -322,7 +322,7 @@ class MultishotNode : public sim::ProtocolNode {
   std::size_t adopt_ready_claims();
 
   // --- Client-request forwarding ---
-  [[nodiscard]] sim::SimTime forward_retry() const noexcept {
+  [[nodiscard]] runtime::Duration forward_retry() const noexcept {
     return cfg_.forward_retry > 0 ? cfg_.forward_retry : 2 * cfg_.view_timeout();
   }
   /// Relay a freshly admitted local submission to the frontier leader when
@@ -359,7 +359,7 @@ class MultishotNode : public sim::ProtocolNode {
   struct SyncState {
     Slot target{0};          // highest advertised peer frontier seen
     Slot requested_upto{0};  // exclusive end of the in-flight request
-    sim::TimerId timer{0};
+    runtime::TimerId timer{0};
     /// Blocks adopted from chunks since the last request was issued: the
     /// progress signal. A request window that adopts nothing (forged or
     /// stale frontier, partitioned responders) drops the sync instead of
@@ -438,8 +438,8 @@ class MultishotNode : public sim::ProtocolNode {
   std::vector<Slot> slot_scratch_;
 
   bool record_timeline_{false};
-  std::map<Slot, sim::SimTime> notarized_at_;
-  std::map<Slot, sim::SimTime> first_proposal_at_;
+  std::map<Slot, runtime::Time> notarized_at_;
+  std::map<Slot, runtime::Time> first_proposal_at_;
 };
 
 /// Definition 2 (Consistency) over every pair of observed finalized chains,

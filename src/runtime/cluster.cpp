@@ -1,0 +1,182 @@
+#include "tetrabft.hpp"
+
+#include <utility>
+
+namespace tbft {
+
+// ---- NodeHandle ------------------------------------------------------------
+
+void NodeHandle::submit(std::vector<std::uint8_t> tx) {
+  multishot::MultishotNode* replica = cluster_->replicas_.at(id_);
+  cluster_->runner_.post(id_, [replica, tx = std::move(tx)]() mutable {
+    replica->submit_tx(std::move(tx));
+  });
+}
+
+// ---- Cluster ---------------------------------------------------------------
+
+Cluster::Cluster(const multishot::MultishotConfig& node_cfg, std::uint64_t seed)
+    : runner_(runtime::LocalRunnerConfig{seed}) {
+  for (std::uint32_t i = 0; i < node_cfg.n; ++i) {
+    auto node = std::make_unique<multishot::MultishotNode>(node_cfg);
+    replicas_.push_back(node.get());
+    runner_.add_node(std::move(node));
+  }
+  runner_.add_commit_sink(hub_);
+}
+
+Cluster::~Cluster() { stop(); }
+
+NodeHandle Cluster::node(NodeId id) {
+  if (id >= replicas_.size()) {
+    throw std::out_of_range("Cluster::node: no replica with id " + std::to_string(id));
+  }
+  return NodeHandle(*this, id);
+}
+
+void Cluster::on_commit(CommitCallback cb) {
+  if (runner_.running()) {
+    throw std::logic_error("Cluster::on_commit: subscribe before start()");
+  }
+  hub_.callbacks.push_back(std::move(cb));
+}
+
+void Cluster::start() { runner_.start(); }
+
+void Cluster::stop() { runner_.stop(); }
+
+bool Cluster::wait_for(const std::function<bool()>& pred, runtime::Duration timeout) {
+  std::unique_lock<std::mutex> lk(hub_.mx);
+  return hub_.cv.wait_for(lk, std::chrono::microseconds(timeout), [&] { return pred(); });
+}
+
+multishot::MultishotNode& Cluster::replica(NodeId id) {
+  if (runner_.running()) {
+    throw std::logic_error(
+        "Cluster::replica: direct access while running races the replica thread; "
+        "stop() first or use post()/submit()");
+  }
+  return *replicas_.at(id);
+}
+
+void Cluster::Hub::on_commit(const runtime::Commit& commit) {
+  {
+    std::lock_guard<std::mutex> lk(mx);
+    for (const CommitCallback& cb : callbacks) cb(commit);
+  }
+  cv.notify_all();
+}
+
+// ---- SimCluster ------------------------------------------------------------
+
+bool SimCluster::run_until_all_finalized(Slot target, runtime::Duration deadline) {
+  return sim_->run_until_pred(
+      [this, target] {
+        for (const auto* replica : replicas_) {
+          if (replica->finalized_count() < target) return false;
+        }
+        return true;
+      },
+      deadline);
+}
+
+// ---- ClusterBuilder --------------------------------------------------------
+
+ClusterBuilder& ClusterBuilder::nodes(std::uint32_t n) {
+  n_ = n;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::faults(std::uint32_t f) {
+  f_ = f;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::delta_bound(runtime::Duration delta) {
+  if (delta <= 0) throw std::invalid_argument("ClusterBuilder: delta_bound must be > 0");
+  delta_bound_ = delta;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::batching(std::uint32_t max_txs, std::uint32_t max_bytes,
+                                         runtime::Duration timeout) {
+  if (max_txs == 0 || max_bytes == 0) {
+    throw std::invalid_argument("ClusterBuilder: batching caps must be > 0");
+  }
+  max_batch_txs_ = max_txs;
+  max_batch_bytes_ = max_bytes;
+  batch_timeout_ = timeout;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::mempool(std::size_t capacity,
+                                        multishot::MempoolPolicy policy) {
+  if (capacity == 0) throw std::invalid_argument("ClusterBuilder: mempool capacity must be > 0");
+  mempool_capacity_ = capacity;
+  mempool_policy_ = policy;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::storage_tail(std::size_t blocks) {
+  if (blocks == 0) throw std::invalid_argument("ClusterBuilder: storage tail must be > 0");
+  finalized_tail_ = blocks;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::forwarding(bool on) {
+  forward_to_leader_ = on;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::sim_delta_actual(runtime::Duration delta) {
+  if (delta <= 0) throw std::invalid_argument("ClusterBuilder: sim_delta_actual must be > 0");
+  sim_delta_actual_ = delta;
+  return *this;
+}
+
+multishot::MultishotConfig ClusterBuilder::node_config() const {
+  const std::uint32_t f = f_.has_value() ? *f_ : (n_ > 0 ? (n_ - 1) / 3 : 0);
+  // QuorumParams validates n > 3f (and n > 0) with a descriptive throw.
+  (void)QuorumParams(n_, f);
+  multishot::MultishotConfig cfg;
+  cfg.n = n_;
+  cfg.f = f;
+  cfg.delta_bound = delta_bound_;
+  cfg.max_slots = 0;  // production shape: unbounded chain, idle suppression
+  cfg.max_batch_txs = max_batch_txs_;
+  cfg.max_batch_bytes = max_batch_bytes_;
+  cfg.batch_timeout = batch_timeout_;
+  cfg.mempool_capacity = mempool_capacity_;
+  cfg.mempool_policy = mempool_policy_;
+  cfg.finalized_tail = finalized_tail_;
+  cfg.forward_to_leader = forward_to_leader_;
+  return cfg;
+}
+
+std::unique_ptr<Cluster> ClusterBuilder::build_local() const {
+  return std::unique_ptr<Cluster>(new Cluster(node_config(), seed_));
+}
+
+std::unique_ptr<SimCluster> ClusterBuilder::build_sim() const {
+  const multishot::MultishotConfig node_cfg = node_config();
+  auto cluster = std::unique_ptr<SimCluster>(new SimCluster());
+  sim::SimConfig sc;
+  sc.seed = seed_;
+  sc.net.delta_bound = delta_bound_;
+  sc.net.delta_actual = sim_delta_actual_;
+  sc.net.delta_min = sim_delta_actual_;
+  cluster->sim_ = std::make_unique<sim::Simulation>(sc);
+  struct ReplicaPort final : workload::SubmitPort {
+    explicit ReplicaPort(multishot::MultishotNode& n) : node(&n) {}
+    bool submit(std::vector<std::uint8_t> tx) override {
+      return node->submit_tx(std::move(tx));
+    }
+    multishot::MultishotNode* node;
+  };
+  for (std::uint32_t i = 0; i < node_cfg.n; ++i) {
+    auto node = std::make_unique<multishot::MultishotNode>(node_cfg);
+    cluster->replicas_.push_back(node.get());
+    cluster->ports_.push_back(std::make_unique<ReplicaPort>(*node));
+    cluster->sim_->add_node(std::move(node));
+  }
+  return cluster;
+}
+
+}  // namespace tbft

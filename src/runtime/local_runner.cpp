@@ -1,0 +1,263 @@
+#include "runtime/local_runner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace tbft::runtime {
+
+namespace {
+constexpr TimerId make_timer_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+  return (static_cast<TimerId>(gen) << 32) | (slot + 1);
+}
+constexpr std::uint32_t timer_slot_of(TimerId id) noexcept {
+  return static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1;
+}
+constexpr std::uint32_t timer_gen_of(TimerId id) noexcept {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+}  // namespace
+
+// ---- TimerWheel ------------------------------------------------------------
+
+bool LocalRunner::TimerWheel::live(TimerId id) const noexcept {
+  const std::uint32_t slot = timer_slot_of(id);
+  return slot < slots.size() && slots[slot].armed &&
+         slots[slot].generation == timer_gen_of(id);
+}
+
+TimerId LocalRunner::TimerWheel::arm(Time at) {
+  std::uint32_t slot;
+  if (!free_slots.empty()) {
+    slot = free_slots.back();
+    free_slots.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots.size());
+    slots.push_back(Slot{});
+  }
+  Slot& s = slots[slot];
+  s.armed = true;
+  const TimerId id = make_timer_id(slot, s.generation);
+  heap.push_back(Entry{at, id});
+  std::push_heap(heap.begin(), heap.end(), later);
+  return id;
+}
+
+void LocalRunner::TimerWheel::cancel(TimerId id) {
+  if (id == 0 || !live(id)) return;
+  const std::uint32_t slot = timer_slot_of(id);
+  slots[slot].armed = false;
+  ++slots[slot].generation;  // invalidate the heap entry; filtered on pop
+  free_slots.push_back(slot);
+}
+
+Time LocalRunner::TimerWheel::next_deadline() {
+  while (!heap.empty()) {
+    if (live(heap.front().id)) return heap.front().at;
+    pop_heap_root();  // stale (cancelled) entry
+  }
+  return kNever;
+}
+
+void LocalRunner::TimerWheel::pop_due(Time now, std::vector<TimerId>& fired) {
+  while (!heap.empty() && heap.front().at <= now) {
+    const TimerId id = heap.front().id;
+    pop_heap_root();
+    if (!live(id)) continue;
+    const std::uint32_t slot = timer_slot_of(id);
+    slots[slot].armed = false;
+    ++slots[slot].generation;
+    free_slots.push_back(slot);
+    fired.push_back(id);
+  }
+}
+
+void LocalRunner::TimerWheel::pop_heap_root() {
+  std::pop_heap(heap.begin(), heap.end(), later);
+  heap.pop_back();
+}
+
+// ---- Context ---------------------------------------------------------------
+
+class LocalRunner::Context final : public Host {
+ public:
+  Context(LocalRunner& runner, NodeId id) : runner_(runner), id_(id) {}
+
+  [[nodiscard]] NodeId id() const override { return id_; }
+  [[nodiscard]] std::uint32_t n() const override { return runner_.node_count(); }
+  [[nodiscard]] Time now() const override { return runner_.now(); }
+
+  void send(NodeId dst, Payload payload) override {
+    runner_.deliver(dst, id_, std::move(payload));
+  }
+
+  void broadcast(Payload payload) override {
+    // Every recipient shares the same ref-counted payload: the copies below
+    // bump an atomic reference count, never the bytes.
+    const std::uint32_t n = runner_.node_count();
+    for (NodeId dst = 0; dst < n; ++dst) {
+      runner_.deliver(dst, id_, payload);
+    }
+  }
+
+  TimerId set_timer(Duration delay) override {
+    TBFT_ASSERT(delay >= 0);
+    // Owner-thread only: handlers (and post()ed functors) run on the node's
+    // thread, the only thread that touches this wheel.
+    return runner_.nodes_[id_].timers.arm(runner_.now() + delay);
+  }
+
+  void cancel_timer(TimerId id) override { runner_.nodes_[id_].timers.cancel(id); }
+
+  void publish_commit(std::uint64_t stream, Value value,
+                      std::span<const std::uint8_t> payload) override {
+    runner_.publish_commit(id_, stream, value, payload);
+  }
+
+  MetricsRegistry& metrics() override { return *runner_.nodes_[id_].metrics; }
+  Rng& rng() override { return runner_.nodes_[id_].rng; }
+
+ private:
+  LocalRunner& runner_;
+  NodeId id_;
+};
+
+// ---- LocalRunner -----------------------------------------------------------
+
+LocalRunner::LocalRunner(LocalRunnerConfig cfg)
+    : cfg_(cfg), epoch_(std::chrono::steady_clock::now()), root_rng_(cfg.seed) {}
+
+LocalRunner::~LocalRunner() { stop(); }
+
+Time LocalRunner::now() const noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+NodeId LocalRunner::add_node(std::unique_ptr<ProtocolNode> node) {
+  TBFT_ASSERT_MSG(!started_, "cannot add nodes after start()");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  NodeRt& rt = nodes_.emplace_back();
+  rt.node = std::move(node);
+  rt.ctx = std::make_unique<Context>(*this, id);
+  rt.metrics = std::make_unique<MetricsRegistry>();
+  rt.rng = root_rng_.fork();  // same per-node derivation as the Simulation
+  rt.node->bind(*rt.ctx);
+  return id;
+}
+
+void LocalRunner::add_commit_sink(CommitSink& sink) {
+  TBFT_ASSERT_MSG(!started_, "register commit sinks before start()");
+  commit_sinks_.push_back(&sink);
+}
+
+void LocalRunner::start() {
+  TBFT_ASSERT_MSG(!started_, "start() called twice");
+  started_ = true;
+  for (NodeRt& rt : nodes_) {
+    rt.thread = std::thread([this, &rt] { run_node(rt); });
+  }
+}
+
+void LocalRunner::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  for (NodeRt& rt : nodes_) {
+    {
+      std::lock_guard<std::mutex> lk(rt.mx);
+      rt.stopping = true;
+    }
+    rt.cv.notify_all();
+  }
+  for (NodeRt& rt : nodes_) {
+    if (rt.thread.joinable()) rt.thread.join();
+  }
+}
+
+void LocalRunner::enqueue(NodeId dst, InboxEntry entry) {
+  NodeRt& rt = nodes_.at(dst);
+  {
+    std::lock_guard<std::mutex> lk(rt.mx);
+    if (rt.stopping) return;  // shutting down: drop, like a closed socket
+    rt.inbox.push_back(std::move(entry));
+  }
+  rt.cv.notify_one();
+}
+
+void LocalRunner::deliver(NodeId dst, NodeId src, Payload payload) {
+  InboxEntry e;
+  e.src = src;
+  e.payload = std::move(payload);
+  enqueue(dst, std::move(e));
+}
+
+void LocalRunner::post(NodeId node, std::function<void()> fn) {
+  if (!started_) {
+    // No thread exists yet; the caller is the only mutator. Running inline
+    // keeps pre-start seeding (mempool pre-loads) trivially ordered before
+    // on_start.
+    fn();
+    return;
+  }
+  InboxEntry e;
+  e.call = std::move(fn);
+  enqueue(node, std::move(e));
+}
+
+void LocalRunner::publish_commit(NodeId node, std::uint64_t stream, Value value,
+                                 std::span<const std::uint8_t> payload) {
+  const Commit commit{node, stream, value, payload, now()};
+  std::lock_guard<std::mutex> lk(commit_mx_);
+  for (CommitSink* sink : commit_sinks_) sink->on_commit(commit);
+}
+
+void LocalRunner::run_node(NodeRt& rt) {
+  rt.node->on_start();
+
+  std::vector<InboxEntry> batch;
+  std::vector<TimerId> fired;
+  std::unique_lock<std::mutex> lk(rt.mx);
+  while (!rt.stopping) {
+    // Due timers fire before the next message batch, every iteration:
+    // sustained message arrival must not starve the view timers (the
+    // Simulation interleaves by timestamp; a flooding peer must not be
+    // able to suppress view changes here). The wheel is owner-thread
+    // data; peeking it under the mailbox lock is fine (set/cancel also
+    // run on this thread, never concurrently).
+    const Time next = rt.timers.next_deadline();
+    if (next <= now()) {
+      fired.clear();
+      rt.timers.pop_due(now(), fired);
+      lk.unlock();
+      for (const TimerId id : fired) rt.node->on_timer(id);
+      lk.lock();
+      continue;
+    }
+
+    if (!rt.inbox.empty()) {
+      batch.swap(rt.inbox);
+      lk.unlock();
+      for (InboxEntry& e : batch) {
+        if (e.call) {
+          e.call();
+        } else {
+          rt.node->on_message(e.src, e.payload);
+        }
+      }
+      batch.clear();  // drop payload refs outside the lock
+      lk.lock();
+      continue;
+    }
+
+    const auto woken = [&] { return rt.stopping || !rt.inbox.empty(); };
+    if (next == kNever) {
+      rt.cv.wait(lk, woken);
+    } else {
+      rt.cv.wait_until(lk, epoch_ + std::chrono::microseconds(next), woken);
+    }
+  }
+}
+
+}  // namespace tbft::runtime

@@ -1,0 +1,179 @@
+#pragma once
+// LocalRunner: a real-time, in-process Host implementation of the runtime
+// API (runtime/host.hpp). One OS thread per node; mutex+condvar mailboxes
+// carry the same ref-counted Payloads the simulator moves (zero payload
+// copies on an n-way broadcast); timers come off a steady_clock-backed
+// per-node timer wheel. The identical ProtocolNode binaries the Simulation
+// verifies -- MultishotNode, TetraNode, the baselines -- run here unchanged,
+// which is what makes wall-clock (not simulated) throughput measurable and
+// is the stepping stone to a socket-backed deployment.
+//
+// Division of labor: the Simulation stays the verification tool of record
+// (deterministic, adversarial, byte-identical traces); the LocalRunner is
+// the performance and integration vehicle (real threads, real time, TSan).
+//
+// Threading model:
+//  - every node runs on its own thread; on_start / on_message / on_timer
+//    for that node are strictly serialized on it (the Host contract);
+//  - send/broadcast lock only the *destination* mailbox; payload buffers
+//    are shared across recipients via Payload's atomic refcount, and the
+//    mailbox mutex publishes the write-once bytes + decode cache;
+//  - self-sends enqueue to the node's own mailbox (handlers never re-enter
+//    each other), mirroring the simulator's scheduling semantics;
+//  - commits fan out to the registered CommitSinks under one commit mutex,
+//    so sinks observe a total order of commits across all nodes;
+//  - metrics() and rng() are per-node, so node threads never contend.
+//
+// post() runs a functor on a node's thread, serialized with its handlers --
+// the injection point for client traffic (MultishotNode::submit_tx is not
+// thread-safe by design; it must run on the owning thread).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/payload.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "runtime/host.hpp"
+
+namespace tbft::runtime {
+
+struct LocalRunnerConfig {
+  /// Per-node Rngs are forked from this in NodeId order -- the same
+  /// derivation the Simulation uses, so a node's random choices match
+  /// across hosts.
+  std::uint64_t seed{1};
+};
+
+class LocalRunner {
+ public:
+  explicit LocalRunner(LocalRunnerConfig cfg = {});
+  ~LocalRunner();  // stops and joins if still running
+
+  LocalRunner(const LocalRunner&) = delete;
+  LocalRunner& operator=(const LocalRunner&) = delete;
+
+  /// Nodes must be added before start() in NodeId order (id = index).
+  NodeId add_node(std::unique_ptr<ProtocolNode> node);
+
+  /// Subscribe to every commit any node publishes. Must be called before
+  /// start(). Callbacks run on node threads, serialized by the runner's
+  /// commit mutex.
+  void add_commit_sink(CommitSink& sink);
+
+  /// Spawn the node threads; each runs its node's on_start() first, then
+  /// drains messages and timers until stop().
+  void start();
+
+  /// Ask every node thread to stop and join them. Idempotent; pending
+  /// mailbox entries are discarded. After stop() the nodes are quiescent
+  /// and may be inspected from the caller's thread.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return started_ && !stopped_; }
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  /// Run `fn` on `node`'s thread, serialized with its message/timer
+  /// handlers (FIFO with deliveries). Before start(), `fn` runs inline on
+  /// the caller -- no thread exists yet, which makes pre-start state
+  /// seeding (e.g. mempool pre-loading) trivially safe.
+  void post(NodeId node, std::function<void()> fn);
+
+  /// Microseconds of steady_clock time since this runner was constructed.
+  [[nodiscard]] Time now() const noexcept;
+
+  /// Direct node access. Only safe from the node's own thread (via post)
+  /// or while the runner is not running.
+  [[nodiscard]] ProtocolNode& node(NodeId id) { return *nodes_.at(id).node; }
+
+  template <class T>
+  [[nodiscard]] T& node_as(NodeId id) {
+    return dynamic_cast<T&>(*nodes_.at(id).node);
+  }
+
+ private:
+  class Context;
+
+  struct InboxEntry {
+    NodeId src{0};
+    Payload payload;                  // deliver entry when call is empty
+    std::function<void()> call;       // posted functor otherwise
+  };
+
+  /// Per-node timer wheel: generation-counted slots (a TimerId is
+  /// (generation << 32 | slot+1), never 0) over a flat binary min-heap of
+  /// (deadline, id). Cancelling bumps the generation; stale heap entries
+  /// are filtered when popped. Owner-thread only -- set/cancel run inside
+  /// the node's handlers, expiry runs in its loop.
+  struct TimerWheel {
+    struct Slot {
+      std::uint32_t generation{0};
+      bool armed{false};
+    };
+    struct Entry {
+      Time at{0};
+      TimerId id{0};
+    };
+    /// std::*_heap comparator for a min-heap by deadline.
+    static bool later(const Entry& a, const Entry& b) noexcept { return a.at > b.at; }
+
+    TimerId arm(Time at);
+    void cancel(TimerId id);
+    /// Earliest live deadline, kNever when none (pops stale heads).
+    [[nodiscard]] Time next_deadline();
+    /// Pop every timer due at or before `now` into `fired` (live ids only).
+    void pop_due(Time now, std::vector<TimerId>& fired);
+
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> free_slots;
+    std::vector<Entry> heap;  // std::*_heap min-heap by `at`
+
+   private:
+    [[nodiscard]] bool live(TimerId id) const noexcept;
+    void pop_heap_root();
+  };
+
+  struct NodeRt {
+    std::unique_ptr<ProtocolNode> node;
+    std::unique_ptr<Context> ctx;
+    std::unique_ptr<MetricsRegistry> metrics;
+    Rng rng{0};
+
+    std::mutex mx;
+    std::condition_variable cv;
+    std::vector<InboxEntry> inbox;  // guarded by mx
+    bool stopping{false};           // guarded by mx
+
+    TimerWheel timers;  // owner-thread only
+    std::thread thread;
+
+    NodeRt() = default;
+  };
+
+  void run_node(NodeRt& rt);
+  void enqueue(NodeId dst, InboxEntry entry);
+  void deliver(NodeId dst, NodeId src, Payload payload);
+  void publish_commit(NodeId node, std::uint64_t stream, Value value,
+                      std::span<const std::uint8_t> payload);
+
+  LocalRunnerConfig cfg_;
+  std::chrono::steady_clock::time_point epoch_;
+  Rng root_rng_;
+  std::deque<NodeRt> nodes_;  // deque: NodeRt holds a mutex and never moves
+  std::vector<CommitSink*> commit_sinks_;
+  std::mutex commit_mx_;
+  bool started_{false};
+  bool stopped_{false};
+};
+
+}  // namespace tbft::runtime

@@ -1,0 +1,25 @@
+#pragma once
+// Transport-neutral time for the runtime API. One tick is one microsecond.
+//
+// `Time` is a point on a host's clock (microseconds since that host's
+// epoch); `Duration` is a span between two such points. The discrete-event
+// Simulation interprets them as simulated time (local computation is
+// instantaneous, paper §2); the real-time LocalRunner backs them with
+// std::chrono::steady_clock. Protocol code only ever does arithmetic on
+// them, so the same node binary runs unmodified under either host.
+
+#include <cstdint>
+
+namespace tbft::runtime {
+
+using Time = std::int64_t;
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Sentinel for "never".
+inline constexpr Time kNever = INT64_MAX;
+
+}  // namespace tbft::runtime

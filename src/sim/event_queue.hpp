@@ -31,11 +31,13 @@
 
 #include "common/payload.hpp"
 #include "common/types.hpp"
+#include "runtime/host.hpp"
 #include "sim/time.hpp"
 
 namespace tbft::sim {
 
-using TimerId = std::uint64_t;
+// TimerId lives in the transport-neutral runtime API (runtime/host.hpp).
+using runtime::TimerId;
 // Payload lives in common/ (tbft::Payload); re-export so simulation-facing
 // code may spell it sim::Payload alongside Envelope and NodeContext.
 using tbft::Payload;

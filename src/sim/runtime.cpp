@@ -1,5 +1,6 @@
 #include "sim/runtime.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -28,15 +29,16 @@ class Simulation::Context final : public NodeContext {
     }
   }
 
-  TimerId set_timer(SimTime delay) override {
+  TimerId set_timer(runtime::Duration delay) override {
     TBFT_ASSERT(delay >= 0);
     return sim_.arm_timer(id_, delay);
   }
 
   void cancel_timer(TimerId tid) override { sim_.disarm_timer(tid); }
 
-  void report_decision(std::uint64_t stream, Value value) override {
-    sim_.trace_.record_decision(DecisionRecord{id_, stream, value, now()});
+  void publish_commit(std::uint64_t stream, Value value,
+                      std::span<const std::uint8_t> payload) override {
+    sim_.publish_commit(id_, stream, value, payload);
   }
 
   MetricsRegistry& metrics() override { return sim_.metrics_; }
@@ -58,7 +60,14 @@ Simulation::~Simulation() = default;
 
 NodeId Simulation::add_node(std::unique_ptr<ProtocolNode> node) {
   TBFT_ASSERT_MSG(!started_, "cannot add nodes after start()");
-  TBFT_ASSERT_MSG(clients_.empty(), "add every protocol node before the first client");
+  if (!clients_.empty()) {
+    // Client-actor ids continue after the protocol nodes; adding a node now
+    // would renumber every existing client and silently corrupt n(). Always
+    // on (not an assert): this is an API-ordering error user code can make.
+    throw std::logic_error(
+        "Simulation::add_node after add_client would renumber the existing client "
+        "actors: add every protocol node before the first client");
+  }
   const auto id = static_cast<NodeId>(nodes_.size());
   contexts_.push_back(std::make_unique<Context>(*this, id, rng_.fork()));
   node->bind(*contexts_.back());
@@ -123,6 +132,15 @@ void Simulation::on_timer_event(NodeId node, TimerId id) {
   ++ts.generation;
   free_timer_slots_.push_back(slot);
   actor(node).on_timer(id);
+}
+
+void Simulation::publish_commit(NodeId node, std::uint64_t stream, Value value,
+                                std::span<const std::uint8_t> payload) {
+  const SimTime at = queue_.now();
+  trace_.record_decision(DecisionRecord{node, stream, value, at});
+  if (commit_sinks_.empty()) return;
+  const runtime::Commit commit{node, stream, value, payload, at};
+  for (runtime::CommitSink* sink : commit_sinks_) sink->on_commit(commit);
 }
 
 void Simulation::dispatch_send(NodeId src, NodeId dst, Payload payload) {

@@ -1,11 +1,14 @@
 #pragma once
-// Simulation runtime: hosts N protocol nodes, routes messages through the
-// partial-synchrony Network, provides timers, and records a Trace.
+// Simulation runtime: one Host implementation of the transport-neutral
+// runtime API (runtime/host.hpp). Hosts N protocol nodes, routes messages
+// through the partial-synchrony Network, provides timers, and records a
+// Trace -- the verification tool of record for every protocol in the repo.
 //
-// Protocol implementations derive from ProtocolNode and interact with the
-// world exclusively through their NodeContext -- the same shape a production
-// deployment would give them over sockets, which keeps protocol code
-// transport-agnostic.
+// Protocol implementations derive from runtime::ProtocolNode and interact
+// with the world exclusively through their runtime::Host; they compile
+// without any simulator header, so the identical node binary also runs
+// under the real-time LocalRunner (runtime/local_runner.hpp) or a future
+// socket-backed deployment.
 //
 // Hot-path design (DESIGN_PERF.md): sends and broadcasts move ref-counted
 // Payloads, so an n-way broadcast performs one encode and zero payload
@@ -22,71 +25,19 @@
 #include "common/payload.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "runtime/host.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
 
 namespace tbft::sim {
 
-/// Services a node may use. Implemented by the Simulation.
-class NodeContext {
- public:
-  virtual ~NodeContext() = default;
-
-  [[nodiscard]] virtual NodeId id() const = 0;
-  [[nodiscard]] virtual std::uint32_t n() const = 0;
-  [[nodiscard]] virtual SimTime now() const = 0;
-
-  /// Point-to-point send. Self-sends are delivered immediately (local
-  /// computation is instantaneous in the model) and cost no network bytes.
-  virtual void send(NodeId dst, Payload payload) = 0;
-
-  /// Send to every node, including self (protocol pseudo-code counts a
-  /// node's own broadcast toward its quorums). All n recipients share one
-  /// ref-counted payload: one encode, zero buffer copies.
-  virtual void broadcast(Payload payload) = 0;
-
-  /// One-shot timer firing at now()+delay. Returns an id passed to on_timer.
-  /// Ids are never 0, so 0 is a safe "no timer" sentinel.
-  virtual TimerId set_timer(SimTime delay) = 0;
-  virtual void cancel_timer(TimerId id) = 0;
-
-  /// Report a decision (single-shot) or a finalization (multi-shot, keyed by
-  /// stream = slot). Recorded in the Trace for agreement/latency checks.
-  virtual void report_decision(std::uint64_t stream, Value value) = 0;
-
-  /// Per-run metrics shared by all nodes (protocol-specific counters).
-  virtual MetricsRegistry& metrics() = 0;
-
-  /// Deterministic per-node randomness.
-  virtual Rng& rng() = 0;
-};
-
-/// A protocol node. All entry points run to completion instantly in
-/// simulated time.
-class ProtocolNode {
- public:
-  virtual ~ProtocolNode() = default;
-
-  /// Called once before any message/timer, after the context is bound.
-  virtual void on_start() = 0;
-  /// `from` is the authenticated channel identity of the sender. The payload
-  /// is shared with every other recipient of the same broadcast; it may carry
-  /// a sender-attached decode cache (Payload::cached) that by construction
-  /// agrees with the bytes.
-  virtual void on_message(NodeId from, const Payload& payload) = 0;
-  virtual void on_timer(TimerId id) = 0;
-
-  void bind(NodeContext& ctx) noexcept { ctx_ = &ctx; }
-
- protected:
-  [[nodiscard]] NodeContext& ctx() const {
-    return *ctx_;
-  }
-
- private:
-  NodeContext* ctx_{nullptr};
-};
+// Simulation-side spellings of the runtime API. NodeContext is the historic
+// name for the services a simulated node sees; it *is* the transport-neutral
+// Host now.
+using NodeContext = runtime::Host;
+using runtime::CommitSink;
+using runtime::ProtocolNode;
 
 struct SimConfig {
   NetworkConfig net{};
@@ -103,6 +54,9 @@ class Simulation final : public EventSink {
   Simulation& operator=(const Simulation&) = delete;
 
   /// Nodes must be added before start() in NodeId order (id = index).
+  /// Throws std::logic_error if a client actor was already added: client ids
+  /// continue after the protocol nodes, so a later add_node would silently
+  /// renumber every client out from under NodeContext::n().
   NodeId add_node(std::unique_ptr<ProtocolNode> node);
 
   /// Client actors (workload generators, observers): simulation participants
@@ -111,6 +65,13 @@ class Simulation final : public EventSink {
   /// recipients and do not count toward n(). Their ids continue after the
   /// protocol nodes, so add every protocol node first.
   NodeId add_client(std::unique_ptr<ProtocolNode> client);
+
+  /// Subscribe `sink` to every commit any node publishes (in addition to
+  /// the Trace's DecisionRecord, which is always kept). Sinks are invoked
+  /// synchronously inside the publishing node's event, in subscription
+  /// order; subscribing does not perturb the Trace or the event schedule,
+  /// so a run's trace digest is independent of its sinks.
+  void add_commit_sink(runtime::CommitSink& sink) { commit_sinks_.push_back(&sink); }
 
   /// Calls on_start on every node (at time 0 unless the clock advanced).
   void start();
@@ -166,6 +127,8 @@ class Simulation final : public EventSink {
   };
 
   void dispatch_send(NodeId src, NodeId dst, Payload payload);
+  void publish_commit(NodeId node, std::uint64_t stream, Value value,
+                      std::span<const std::uint8_t> payload);
   TimerId arm_timer(NodeId node, SimTime delay);
   void disarm_timer(TimerId id);
   /// Resolve a protocol node (id < node_count) or client actor (id beyond).
@@ -190,6 +153,7 @@ class Simulation final : public EventSink {
   std::vector<std::unique_ptr<ProtocolNode>> nodes_;
   std::vector<std::unique_ptr<ProtocolNode>> clients_;
   std::vector<std::unique_ptr<Context>> contexts_;
+  std::vector<runtime::CommitSink*> commit_sinks_;
   std::vector<TimerSlot> timer_slots_;
   std::vector<std::uint32_t> free_timer_slots_;
   bool started_{false};

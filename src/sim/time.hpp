@@ -1,19 +1,19 @@
 #pragma once
-// Simulated time. One tick is one simulated microsecond; helpers keep
-// experiment configs readable. Local computation is instantaneous (paper §2),
-// so time advances only through message delays and timers.
+// Simulated time is runtime time (runtime/time.hpp): one tick is one
+// simulated microsecond. The `SimTime` spelling remains for simulation-side
+// code; protocol cores use runtime::Time/Duration and never include this.
+// Local computation is instantaneous (paper §2), so simulated time advances
+// only through message delays and timers.
 
-#include <cstdint>
+#include "runtime/time.hpp"
 
 namespace tbft::sim {
 
-using SimTime = std::int64_t;
+using SimTime = runtime::Time;
 
-inline constexpr SimTime kMicrosecond = 1;
-inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
-inline constexpr SimTime kSecond = 1000 * kMillisecond;
-
-/// Sentinel for "never".
-inline constexpr SimTime kNever = INT64_MAX;
+using runtime::kMicrosecond;
+using runtime::kMillisecond;
+using runtime::kNever;
+using runtime::kSecond;
 
 }  // namespace tbft::sim

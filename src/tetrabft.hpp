@@ -1,0 +1,206 @@
+#pragma once
+// Public facade for embedding TetraBFT. Examples, tools and the workload
+// engine program against this header instead of reaching into
+// MultishotNode internals.
+//
+//   ClusterBuilder b;
+//   b.nodes(4).delta_bound(50 * tbft::runtime::kMillisecond);
+//   auto cluster = b.build_local();          // real-time: one thread/node
+//   cluster->on_commit([](const tbft::runtime::Commit& c) { ... });
+//   cluster->start();
+//   cluster->node(0).submit({'t','x'});
+//   cluster->wait_for([&]{ return done; }, 5 * tbft::runtime::kSecond);
+//   cluster->stop();
+//
+// Two backends build from the same validated configuration:
+//  - build_local(): a runtime::LocalRunner cluster -- wall-clock time, OS
+//    threads, the deployment-shaped path;
+//  - build_sim():   a sim::Simulation cluster -- deterministic virtual
+//    time, the verification tool of record. Client actors (workload
+//    generators) attach here; the facade adds every protocol node before
+//    any client, and the Simulation rejects out-of-order additions with a
+//    clear error instead of silently renumbering actors.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <optional>
+
+#include "multishot/node.hpp"
+#include "runtime/host.hpp"
+#include "runtime/local_runner.hpp"
+#include "sim/runtime.hpp"
+#include "workload/generator.hpp"
+
+namespace tbft {
+
+class Cluster;
+
+/// Non-owning handle to one replica of a local Cluster.
+class NodeHandle {
+ public:
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+  /// Submit a transaction to this replica's mempool. Runs on the replica's
+  /// thread (serialized with its handlers); before Cluster::start() it
+  /// applies immediately, which is how initial state is seeded.
+  void submit(std::vector<std::uint8_t> tx);
+
+ private:
+  friend class Cluster;
+  NodeHandle(Cluster& cluster, NodeId id) : cluster_(&cluster), id_(id) {}
+
+  Cluster* cluster_;
+  NodeId id_;
+};
+
+/// A real-time in-process TetraBFT cluster (runtime::LocalRunner backend).
+class Cluster {
+ public:
+  using CommitCallback = std::function<void(const runtime::Commit&)>;
+
+  ~Cluster();  // stops the runner
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return runner_.node_count(); }
+  [[nodiscard]] NodeHandle node(NodeId id);
+
+  /// Subscribe to every commit any replica publishes. Must be called before
+  /// start(). Callbacks run on replica threads, serialized by the cluster;
+  /// wait_for predicates are re-evaluated after each callback.
+  void on_commit(CommitCallback cb);
+
+  void start();
+  /// Stop all replica threads. Idempotent; after stop() the replicas are
+  /// quiescent and replica() inspection is safe from the caller's thread.
+  void stop();
+
+  /// Block until `pred()` holds or `timeout` elapses; `pred` is evaluated
+  /// under the cluster's commit lock, re-checked on every commit. Returns
+  /// whether the predicate held.
+  bool wait_for(const std::function<bool()>& pred, runtime::Duration timeout);
+
+  /// Direct replica access: only safe while the cluster is not running
+  /// (before start(), after stop()) -- chain inspection, test assertions.
+  [[nodiscard]] multishot::MultishotNode& replica(NodeId id);
+
+  [[nodiscard]] runtime::LocalRunner& runner() noexcept { return runner_; }
+
+ private:
+  friend class ClusterBuilder;
+  friend class NodeHandle;
+  explicit Cluster(const multishot::MultishotConfig& node_cfg, std::uint64_t seed);
+
+  /// Single CommitSink fanning out to the registered callbacks and waking
+  /// wait_for waiters.
+  struct Hub final : runtime::CommitSink {
+    void on_commit(const runtime::Commit& commit) override;
+    std::mutex mx;
+    std::condition_variable cv;
+    std::vector<CommitCallback> callbacks;
+  };
+
+  runtime::LocalRunner runner_;
+  std::vector<multishot::MultishotNode*> replicas_;
+  Hub hub_;
+};
+
+/// A deterministic simulated cluster built from the same configuration
+/// (sim::Simulation backend). The facade owns the actor-ordering rules:
+/// all protocol nodes are added at build time, clients afterwards.
+class SimCluster {
+ public:
+  [[nodiscard]] sim::Simulation& simulation() noexcept { return *sim_; }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(replicas_.size());
+  }
+  [[nodiscard]] multishot::MultishotNode& replica(NodeId id) { return *replicas_.at(id); }
+  [[nodiscard]] const std::vector<multishot::MultishotNode*>& replicas() const noexcept {
+    return replicas_;
+  }
+
+  /// Submit a transaction to replica `id`'s mempool (direct call: the
+  /// simulation is single-threaded). Returns mempool admission.
+  bool submit(NodeId id, std::vector<std::uint8_t> tx) {
+    return replicas_.at(id)->submit_tx(std::move(tx));
+  }
+
+  /// The workload::SubmitPort view of replica `id` -- hand these to the
+  /// load generators (workload::LoadClient and friends), which program
+  /// against this boundary instead of MultishotNode internals.
+  [[nodiscard]] workload::SubmitPort& port(NodeId id) { return *ports_.at(id); }
+
+  /// Attach a client actor (workload generator, observer). Always legal
+  /// here: the builder added every protocol node already, which is the
+  /// ordering Simulation::add_node enforces with a clear error.
+  NodeId add_client(std::unique_ptr<runtime::ProtocolNode> client) {
+    return sim_->add_client(std::move(client));
+  }
+
+  void start() { sim_->start(); }
+
+  /// Run until every replica finalized at least `target` slots.
+  bool run_until_all_finalized(Slot target, runtime::Duration deadline);
+
+ private:
+  friend class ClusterBuilder;
+  SimCluster() = default;
+
+  std::unique_ptr<sim::Simulation> sim_;
+  std::vector<multishot::MultishotNode*> replicas_;
+  std::vector<std::unique_ptr<workload::SubmitPort>> ports_;
+};
+
+/// Configures a TetraBFT cluster: membership (n/f), timing, leader
+/// batching, mempool bounds, finalized-storage tail. Validates eagerly --
+/// misconfiguration throws std::invalid_argument/std::logic_error with an
+/// actionable message at the call, never a silent misbehavior later.
+class ClusterBuilder {
+ public:
+  /// Membership size. f defaults to the largest tolerable (n-1)/3.
+  ClusterBuilder& nodes(std::uint32_t n);
+  /// Explicit fault budget (0 is legal: no tolerated faults, quorum = n);
+  /// must keep n > 3f.
+  ClusterBuilder& faults(std::uint32_t f);
+  ClusterBuilder& seed(std::uint64_t seed);
+  /// Known message-delay bound Delta (drives the 9*Delta view timers).
+  ClusterBuilder& delta_bound(runtime::Duration delta);
+  /// Leader batching: cap per fresh block, byte budget, and how long an
+  /// empty-mempool leader defers a fresh proposal waiting for load.
+  ClusterBuilder& batching(std::uint32_t max_txs, std::uint32_t max_bytes,
+                           runtime::Duration timeout = 0);
+  ClusterBuilder& mempool(std::size_t capacity, multishot::MempoolPolicy policy);
+  /// Resident finalized blocks kept behind the compaction checkpoint.
+  ClusterBuilder& storage_tail(std::size_t blocks);
+  /// Relay submissions to the frontier leader while the chain idles.
+  ClusterBuilder& forwarding(bool on);
+  /// Simulated actual delay (build_sim only; build_local runs on real time).
+  ClusterBuilder& sim_delta_actual(runtime::Duration delta);
+
+  /// The validated MultishotConfig both backends build from.
+  [[nodiscard]] multishot::MultishotConfig node_config() const;
+
+  [[nodiscard]] std::unique_ptr<Cluster> build_local() const;
+  [[nodiscard]] std::unique_ptr<SimCluster> build_sim() const;
+
+ private:
+  std::uint32_t n_{4};
+  std::optional<std::uint32_t> f_;  // unset = derive (n-1)/3
+  std::uint64_t seed_{1};
+  runtime::Duration delta_bound_{50 * runtime::kMillisecond};
+  runtime::Duration sim_delta_actual_{1 * runtime::kMillisecond};
+  std::uint32_t max_batch_txs_{64};
+  std::uint32_t max_batch_bytes_{8192};
+  runtime::Duration batch_timeout_{0};
+  std::size_t mempool_capacity_{4096};
+  multishot::MempoolPolicy mempool_policy_{multishot::MempoolPolicy::kRejectNew};
+  std::size_t finalized_tail_{multishot::FinalizedStore::kDefaultTailCapacity};
+  bool forward_to_leader_{true};
+};
+
+}  // namespace tbft

@@ -1,6 +1,6 @@
 #pragma once
 // Load generators: client actors (sim::Simulation::add_client) that submit
-// uniquely tagged requests to node mempools over a configurable window.
+// uniquely tagged requests over a configurable window.
 //
 //  - OpenLoopClient: arrivals at a fixed rate, Poisson (exponential
 //    interarrival) or constant spacing, optionally modulated into bursts.
@@ -10,17 +10,40 @@
 //    (learned through the tracker's completion listener) immediately funds
 //    the next submission. Offered load adapts to system speed.
 //
+// Clients submit through SubmitPort -- the facade boundary (tetrabft.hpp)
+// -- never into MultishotNode internals; the scenario rig adapts replicas
+// (or crash doubles) behind ports.
+//
+// Client-side retry (models real client libraries): with
+// ClientConfig::retry_timeout set, a client re-submits an admitted-but-
+// uncommitted request to the *next* replica once the timeout elapses --
+// the recovery path when the original replica crashed (or was isolated)
+// after admitting but before relaying. Retries carry the same tag, so the
+// tracker's exactly-once accounting absorbs the duplicate submission (and
+// any double-commit the duplicate could cause is attributed to retries,
+// see WorkloadTracker).
+//
 // All randomness comes from the actor's deterministic per-node RNG, so a
 // loaded run stays a pure function of seed + config.
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
-#include "multishot/node.hpp"
-#include "sim/runtime.hpp"
+#include "runtime/host.hpp"
 #include "workload/tracker.hpp"
 
 namespace tbft::workload {
+
+/// Transport-agnostic submission target: one consensus replica as a client
+/// sees it. Implemented over MultishotNode::submit_tx by the scenario rig
+/// and by the tetrabft.hpp facade (SimCluster::port); a socket deployment
+/// would implement it over a client connection. Returns mempool admission.
+class SubmitPort {
+ public:
+  virtual ~SubmitPort() = default;
+  virtual bool submit(std::vector<std::uint8_t> tx) = 0;
+};
 
 struct ClientConfig {
   /// Tag namespace; unique per generator within a run.
@@ -28,8 +51,13 @@ struct ClientConfig {
   /// Encoded request size (>= kRequestHeaderBytes).
   std::uint32_t request_bytes{64};
   /// Submission window [start, stop): no submissions at or after `stop`.
-  sim::SimTime start{0};
-  sim::SimTime stop{1 * sim::kSecond};
+  runtime::Time start{0};
+  runtime::Time stop{1 * runtime::kSecond};
+  /// When > 0, re-submit an admitted request to the next replica if it has
+  /// not committed within this long (0 = no client-side retry). Retrying
+  /// continues past `stop` until the request commits: rescuing stranded
+  /// requests is exactly the drain phase's job.
+  runtime::Duration retry_timeout{0};
 };
 
 struct OpenLoopConfig {
@@ -39,7 +67,7 @@ struct OpenLoopConfig {
   /// Burst modulation: while burst_period > 0 and the phase within each
   /// period is below `burst_duty`, the rate is multiplied by
   /// `burst_multiplier` (1.0 = no modulation).
-  sim::SimTime burst_period{0};
+  runtime::Duration burst_period{0};
   double burst_duty{0.5};
   double burst_multiplier{1.0};
 };
@@ -49,23 +77,31 @@ struct ClosedLoopConfig {
   /// Requests kept outstanding (the closed loop's k).
   std::uint32_t outstanding{4};
   /// Backoff before retrying a submission the mempool rejected.
-  sim::SimTime retry_delay{1 * sim::kMillisecond};
+  runtime::Duration retry_delay{1 * runtime::kMillisecond};
 };
 
 /// Shared submission plumbing: request encoding, round-robin target
-/// selection, tracker accounting.
-class LoadClient : public sim::ProtocolNode {
+/// selection, tracker accounting, and the client-side retry book.
+class LoadClient : public runtime::ProtocolNode {
  public:
-  LoadClient(ClientConfig cfg, std::vector<multishot::MultishotNode*> targets,
-             WorkloadTracker& tracker);
+  LoadClient(ClientConfig cfg, std::vector<SubmitPort*> targets, WorkloadTracker& tracker);
 
-  void on_message(NodeId, const sim::Payload&) override {}
+  void on_message(NodeId, const Payload&) override {}
+  /// Intercepts the retry timer; everything else goes to on_client_timer.
+  void on_timer(runtime::TimerId id) final;
 
   [[nodiscard]] std::uint32_t client_id() const noexcept { return cfg_.client_id; }
   [[nodiscard]] std::uint32_t submissions() const noexcept { return seq_; }
+  [[nodiscard]] std::uint32_t retries() const noexcept { return retries_; }
 
  protected:
-  /// Submit one request to the next target; returns admission.
+  /// Subclass timers (arrival schedules, replenishment).
+  virtual void on_client_timer(runtime::TimerId id) = 0;
+  /// Called once per committed request of this client (tracker listener);
+  /// overrides must call the base (it settles the retry book).
+  virtual void on_committed(std::uint64_t tag);
+
+  /// Submit one fresh request to the next target; returns admission.
   bool submit_one();
   [[nodiscard]] bool window_open() const {
     return ctx().now() >= cfg_.start && ctx().now() < cfg_.stop;
@@ -75,21 +111,37 @@ class LoadClient : public sim::ProtocolNode {
   WorkloadTracker& tracker_;
 
  private:
-  std::vector<multishot::MultishotNode*> targets_;
+  struct PendingRetry {
+    std::uint32_t seq{0};
+    std::size_t target{0};  // index of the last replica this request went to
+    runtime::Time deadline{0};
+  };
+
+  /// Arm the retry timer for the earliest outstanding deadline, if idle.
+  void arm_retry_timer();
+  /// Re-submit every overdue outstanding request to its next replica.
+  void run_retries();
+
+  std::vector<SubmitPort*> targets_;
   std::uint32_t seq_{0};
   std::size_t next_target_{0};
+  std::uint32_t retries_{0};
+  std::map<std::uint64_t, PendingRetry> outstanding_;  // retry book (retry_timeout > 0)
+  runtime::TimerId retry_timer_{0};
 };
 
 class OpenLoopClient final : public LoadClient {
  public:
-  OpenLoopClient(OpenLoopConfig cfg, std::vector<multishot::MultishotNode*> targets,
+  OpenLoopClient(OpenLoopConfig cfg, std::vector<SubmitPort*> targets,
                  WorkloadTracker& tracker);
 
   void on_start() override;
-  void on_timer(sim::TimerId) override;
+
+ protected:
+  void on_client_timer(runtime::TimerId) override;
 
  private:
-  [[nodiscard]] sim::SimTime interarrival();
+  [[nodiscard]] runtime::Duration interarrival();
   [[nodiscard]] double current_rate() const;
 
   OpenLoopConfig ol_;
@@ -97,11 +149,14 @@ class OpenLoopClient final : public LoadClient {
 
 class ClosedLoopClient final : public LoadClient {
  public:
-  ClosedLoopClient(ClosedLoopConfig cfg, std::vector<multishot::MultishotNode*> targets,
+  ClosedLoopClient(ClosedLoopConfig cfg, std::vector<SubmitPort*> targets,
                    WorkloadTracker& tracker);
 
   void on_start() override;
-  void on_timer(sim::TimerId) override;
+
+ protected:
+  void on_client_timer(runtime::TimerId) override;
+  void on_committed(std::uint64_t tag) override;
 
  private:
   ClosedLoopConfig cl_;

@@ -78,11 +78,22 @@ WorkloadRig make_rig(const ScenarioOptions& opts) {
   }
 
   rig.tracker = std::make_unique<WorkloadTracker>(rig.sim->metrics());
-  std::vector<multishot::MultishotNode*> honest;
+  // Generators never touch MultishotNode directly: each honest replica is
+  // wrapped in a SubmitPort, the same boundary the tetrabft.hpp facade
+  // exposes, so the load path stays transport-agnostic.
+  struct ReplicaPort final : SubmitPort {
+    explicit ReplicaPort(multishot::MultishotNode& n) : node(&n) {}
+    bool submit(std::vector<std::uint8_t> tx) override {
+      return node->submit_tx(std::move(tx));
+    }
+    multishot::MultishotNode* node;
+  };
+  std::vector<SubmitPort*> honest;
   for (auto* node : rig.nodes) {
     if (node != nullptr) {
       rig.tracker->observe(*node);
-      honest.push_back(node);
+      rig.ports.push_back(std::make_unique<ReplicaPort>(*node));
+      honest.push_back(rig.ports.back().get());
     }
   }
   TBFT_ASSERT_MSG(!honest.empty(), "a workload scenario needs at least one honest node");
@@ -93,8 +104,9 @@ WorkloadRig make_rig(const ScenarioOptions& opts) {
     base.request_bytes = opts.request_bytes;
     base.start = 0;
     base.stop = opts.load_duration;
+    base.retry_timeout = opts.client_retry_timeout;
     // Stagger round-robin start points so clients spread across nodes.
-    std::vector<multishot::MultishotNode*> targets;
+    std::vector<SubmitPort*> targets;
     for (std::size_t i = 0; i < honest.size(); ++i) {
       targets.push_back(honest[(c + i) % honest.size()]);
     }

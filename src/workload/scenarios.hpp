@@ -60,6 +60,10 @@ struct ScenarioOptions {
   /// adversary hook to an otherwise well-behaved network. The partition
   /// preset manages its own GST and ignores this.
   sim::SimTime gst{0};
+  /// Client-side retry (ClientConfig passthrough): re-submit an admitted
+  /// request to the next replica when it has not committed within this long
+  /// (0 = off). The rescue path when a replica crashes after admission.
+  runtime::Duration client_retry_timeout{0};
 };
 
 /// A wired run for tests that drive the simulation themselves. Actor
@@ -68,6 +72,9 @@ struct WorkloadRig {
   std::unique_ptr<sim::Simulation> sim;
   std::unique_ptr<WorkloadTracker> tracker;
   std::vector<multishot::MultishotNode*> nodes;  // nullptr for crashed/junk
+  /// Submission ports the generators target (one per honest node, in node
+  /// order) -- the same facade boundary tetrabft.hpp handles implement.
+  std::vector<std::unique_ptr<SubmitPort>> ports;
   multishot::MultishotConfig node_cfg;
   sim::SimTime gst{0};
 

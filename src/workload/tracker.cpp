@@ -22,12 +22,12 @@ void WorkloadReport::print(const char* title) const {
 void WorkloadTracker::observe(multishot::MultishotNode& node) {
   const std::size_t observer = observers_++;
   seen_.emplace_back();
-  node.set_commit_hook([this, observer](const multishot::Block& b, sim::SimTime at) {
+  node.set_commit_hook([this, observer](const multishot::Block& b, runtime::Time at) {
     on_finalized(observer, b, at);
   });
 }
 
-void WorkloadTracker::on_submitted(std::uint64_t tag, sim::SimTime at, bool admitted) {
+void WorkloadTracker::on_submitted(std::uint64_t tag, runtime::Time at, bool admitted) {
   ++submitted_;
   metrics_.counter("workload.submitted").add();
   if (!admitted) {
@@ -40,12 +40,34 @@ void WorkloadTracker::on_submitted(std::uint64_t tag, sim::SimTime at, bool admi
   submit_time_.emplace(tag, at);
 }
 
+void WorkloadTracker::on_retry(std::uint64_t tag, runtime::Time at, bool admitted) {
+  ++retried_;
+  retried_tags_.insert(tag);
+  metrics_.counter("workload.retried").add();
+  if (!admitted) return;
+  // First successful admission of a tag whose original submission was
+  // rejected becomes *the* admission; an already-admitted tag is absorbed
+  // (latency keeps running from the original admission).
+  if (submit_time_.emplace(tag, at).second) {
+    ++admitted_;
+    metrics_.counter("workload.admitted").add();
+  }
+}
+
 void WorkloadTracker::on_finalized(std::size_t observer, const multishot::Block& b,
-                                   sim::SimTime at) {
+                                   runtime::Time at) {
   for (const std::uint64_t tag : extract_request_tags(b.payload)) {
     if (!seen_[observer].insert(tag).second) {
-      ++duplicates_;
-      metrics_.counter("workload.duplicates").add();
+      // A retried tag landing twice in one chain is the at-least-once
+      // window the retry knowingly opened (both copies were in flight);
+      // report it separately instead of as an exactly-once violation.
+      if (retried_tags_.count(tag) != 0) {
+        ++retry_duplicates_;
+        metrics_.counter("workload.retry_duplicates").add();
+      } else {
+        ++duplicates_;
+        metrics_.counter("workload.duplicates").add();
+      }
       continue;
     }
     const auto sit = submit_time_.find(tag);
@@ -59,14 +81,14 @@ void WorkloadTracker::on_finalized(std::size_t observer, const multishot::Block&
     ++committed_;
     metrics_.counter("workload.committed").add();
     metrics_.histogram("workload.commit_latency_ms")
-        .record(static_cast<double>(at - sit->second) / sim::kMillisecond);
+        .record(static_cast<double>(at - sit->second) / runtime::kMillisecond);
     if (const auto lit = listeners_.find(tag_client(tag)); lit != listeners_.end()) {
       lit->second(tag);
     }
   }
 }
 
-WorkloadReport WorkloadTracker::report(sim::SimTime elapsed) const {
+WorkloadReport WorkloadTracker::report(runtime::Time elapsed) const {
   WorkloadReport r;
   r.submitted = submitted_;
   r.admitted = admitted_;
@@ -74,9 +96,11 @@ WorkloadReport WorkloadTracker::report(sim::SimTime elapsed) const {
   r.committed = committed_;
   r.duplicates = duplicates_;
   r.foreign = foreign_;
+  r.retried = retried_;
+  r.retry_duplicates = retry_duplicates_;
   if (elapsed > 0) {
     r.committed_tx_per_sec =
-        static_cast<double>(committed_) * sim::kSecond / static_cast<double>(elapsed);
+        static_cast<double>(committed_) * runtime::kSecond / static_cast<double>(elapsed);
   }
   const Histogram& lat = metrics_.histogram("workload.commit_latency_ms");
   r.latency_mean_ms = lat.mean();

@@ -10,6 +10,11 @@
 //  - per observer, a tag appearing twice in the finalized chain is a
 //    double-commit (duplicates); a tag never submitted is foreign -- both
 //    break the exactly-once contract bench_workload enforces by exit code;
+//  - client-side retries re-submit an existing tag (on_retry): the
+//    duplicate *submission* is absorbed -- submitted/admitted stay keyed by
+//    tag, latency runs from the first admission -- and a double-commit of a
+//    retried tag is reported as retry_duplicates (the known at-least-once
+//    window retries open), not as an exactly-once violation;
 //  - closed-loop generators learn about completions through per-client
 //    listeners, called once per committed request of that client.
 
@@ -21,7 +26,7 @@
 
 #include "common/metrics.hpp"
 #include "multishot/node.hpp"
-#include "sim/time.hpp"
+#include "runtime/time.hpp"
 
 namespace tbft::workload {
 
@@ -34,6 +39,8 @@ struct WorkloadReport {
   std::uint64_t committed{0};
   std::uint64_t duplicates{0};  // double-commits seen by any observer
   std::uint64_t foreign{0};     // committed tags never submitted
+  std::uint64_t retried{0};     // client-side re-submissions (same tag)
+  std::uint64_t retry_duplicates{0};  // double-commits attributable to retries
   double committed_tx_per_sec{0};
   double latency_mean_ms{0};
   double latency_p50_ms{0};
@@ -64,7 +71,13 @@ class WorkloadTracker {
   void observe(multishot::MultishotNode& node);
 
   /// Generators report every submission attempt here.
-  void on_submitted(std::uint64_t tag, sim::SimTime at, bool admitted);
+  void on_submitted(std::uint64_t tag, runtime::Time at, bool admitted);
+
+  /// Generators report client-side re-submissions of an existing tag here.
+  /// Absorbed into the exactly-once books: an already-admitted tag keeps
+  /// its original submit time (latency is end-to-end from first admission);
+  /// a retry that admits a previously rejected tag becomes its admission.
+  void on_retry(std::uint64_t tag, runtime::Time at, bool admitted);
 
   /// `listener(tag)` fires once per committed request of `client`
   /// (closed-loop replenishment).
@@ -79,6 +92,8 @@ class WorkloadTracker {
   [[nodiscard]] std::uint64_t committed() const noexcept { return committed_; }
   [[nodiscard]] std::uint64_t duplicates() const noexcept { return duplicates_; }
   [[nodiscard]] std::uint64_t foreign() const noexcept { return foreign_; }
+  [[nodiscard]] std::uint64_t retried() const noexcept { return retried_; }
+  [[nodiscard]] std::uint64_t retry_duplicates() const noexcept { return retry_duplicates_; }
   [[nodiscard]] std::uint64_t outstanding() const noexcept { return admitted_ - committed_; }
   [[nodiscard]] bool all_admitted_committed() const noexcept {
     return committed_ == admitted_;
@@ -89,16 +104,17 @@ class WorkloadTracker {
 
   /// Summarize the run; `elapsed` is the wall (simulated) time the
   /// throughput figure is normalized by.
-  [[nodiscard]] WorkloadReport report(sim::SimTime elapsed) const;
+  [[nodiscard]] WorkloadReport report(runtime::Time elapsed) const;
 
  private:
-  void on_finalized(std::size_t observer, const multishot::Block& b, sim::SimTime at);
+  void on_finalized(std::size_t observer, const multishot::Block& b, runtime::Time at);
 
   MetricsRegistry& metrics_;
   std::size_t observers_{0};
-  std::map<std::uint64_t, sim::SimTime> submit_time_;  // admitted requests
-  std::map<std::uint64_t, sim::SimTime> commit_time_;  // first commit anywhere
+  std::map<std::uint64_t, runtime::Time> submit_time_;  // admitted requests
+  std::map<std::uint64_t, runtime::Time> commit_time_;  // first commit anywhere
   std::vector<std::set<std::uint64_t>> seen_;          // per observer
+  std::set<std::uint64_t> retried_tags_;               // tags ever re-submitted
   std::map<std::uint32_t, std::function<void(std::uint64_t)>> listeners_;
   std::uint64_t submitted_{0};
   std::uint64_t admitted_{0};
@@ -106,6 +122,8 @@ class WorkloadTracker {
   std::uint64_t committed_{0};
   std::uint64_t duplicates_{0};
   std::uint64_t foreign_{0};
+  std::uint64_t retried_{0};
+  std::uint64_t retry_duplicates_{0};
 };
 
 }  // namespace tbft::workload

@@ -76,11 +76,11 @@ TEST(BaselineConfig, QuorumArithmeticAndTimeout) {
   BaselineConfig cfg;
   cfg.n = 7;
   cfg.f = 2;
-  cfg.delta_bound = 10 * sim::kMillisecond;
+  cfg.delta_bound = 10 * runtime::kMillisecond;
   cfg.timeout_delta_multiple = 10;
   EXPECT_EQ(cfg.quorum_params().quorum_size(), 5u);
   EXPECT_EQ(cfg.quorum_params().blocking_size(), 3u);
-  EXPECT_EQ(cfg.view_timeout(), 100 * sim::kMillisecond);
+  EXPECT_EQ(cfg.view_timeout(), 100 * runtime::kMillisecond);
   EXPECT_EQ(cfg.leader_of(0), 0u);
   EXPECT_EQ(cfg.leader_of(8), 1u);
 }

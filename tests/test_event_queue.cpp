@@ -165,7 +165,7 @@ TEST(EventQueue, DeliverSharesPayloadBufferAcrossEntries) {
   RecordingSink sink;
   q.set_sink(&sink);
 
-  const auto copies_before = Payload::stats().buffer_copies;
+  const std::uint64_t copies_before = Payload::stats().buffer_copies;
   Payload p{9, 9, 9};
   EXPECT_EQ(p.use_count(), 1);
   for (NodeId dst = 0; dst < 16; ++dst) q.schedule_deliver(1, 0, dst, p);

@@ -1,0 +1,159 @@
+// Payload thread-safety contract (common/payload.hpp): the ref-count is
+// atomic and the bytes + decode cache are write-once-before-publish, so a
+// payload encoded by one thread and fanned out through mutex-guarded
+// mailboxes (exactly the LocalRunner shape) is safe to read, copy and drop
+// from many threads at once. Run under ThreadSanitizer in CI -- these tests
+// are the designated TSan targets alongside the LocalRunner equivalence.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/payload.hpp"
+
+namespace tbft {
+namespace {
+
+struct FakeDecoded {
+  std::uint64_t a{0};
+  std::uint64_t b{0};
+};
+
+TEST(PayloadThreads, ConcurrentCopyAndDropKeepsRefcountExact) {
+  Payload shared{1, 2, 3, 4, 5, 6, 7, 8};
+  shared.attach_decoded(FakeDecoded{0xAB, 0xCD});
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20000;
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    // Each thread holds its own handle (one handle is single-owner; the
+    // *buffer* is what is shared) and churns copies of it.
+    threads.emplace_back([&reads, handle = shared] {
+      std::uint64_t sum = 0;
+      for (int i = 0; i < kIterations; ++i) {
+        Payload copy = handle;            // atomic refcount bump
+        Payload moved = std::move(copy);  // pointer swap
+        sum += moved[0];
+        if (const auto* cached = moved.cached<FakeDecoded>()) sum += cached->a;
+        Payload reassigned;
+        reassigned = moved;  // copy-assign over empty
+        sum += reassigned.size();
+      }                      // all copies dropped here
+      reads.fetch_add(sum, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Quiescent again: this handle is the sole owner, bytes and cache intact.
+  EXPECT_EQ(shared.use_count(), 1);
+  EXPECT_EQ(shared.size(), 8u);
+  EXPECT_EQ(shared[0], 1u);
+  ASSERT_NE(shared.cached<FakeDecoded>(), nullptr);
+  EXPECT_EQ(shared.cached<FakeDecoded>()->b, 0xCDu);
+  EXPECT_GT(reads.load(), 0u);
+}
+
+TEST(PayloadThreads, MailboxHandoffPublishesBytesAndCache) {
+  // Producer encodes + attaches the cache, *then* publishes through a
+  // mutex-guarded queue -- the write-once-before-publish contract. Consumers
+  // decode concurrently and must always observe consistent bytes and cache.
+  struct Mailbox {
+    std::mutex mx;
+    std::condition_variable cv;
+    std::deque<Payload> inbox;
+    bool done{false};
+  };
+
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kMessages = 4000;
+  std::vector<Mailbox> boxes(kConsumers);
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> cache_ok{0};
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&box = boxes[c], &delivered, &cache_ok] {
+      std::unique_lock<std::mutex> lk(box.mx);
+      while (true) {
+        box.cv.wait(lk, [&] { return box.done || !box.inbox.empty(); });
+        if (box.inbox.empty()) return;  // done and drained
+        Payload p = std::move(box.inbox.front());
+        box.inbox.pop_front();
+        lk.unlock();
+        const auto* cached = p.cached<FakeDecoded>();
+        if (cached != nullptr && cached->a == p[0] && cached->b == p.size()) {
+          cache_ok.fetch_add(1, std::memory_order_relaxed);
+        }
+        delivered.fetch_add(1, std::memory_order_relaxed);
+        lk.lock();
+      }
+    });
+  }
+
+  for (std::uint64_t m = 0; m < kMessages; ++m) {
+    // One encode, one cache attach, then an n-way fan-out of the same
+    // buffer -- the broadcast hot path, across real threads.
+    Payload p{static_cast<std::uint8_t>(m & 0x7F), 9, 9};
+    p.attach_decoded(FakeDecoded{m & 0x7F, 3});
+    for (auto& box : boxes) {
+      Payload copy = p;
+      {
+        std::lock_guard<std::mutex> lk(box.mx);
+        box.inbox.push_back(std::move(copy));
+      }
+      box.cv.notify_one();
+    }
+  }
+  for (auto& box : boxes) {
+    {
+      std::lock_guard<std::mutex> lk(box.mx);
+      box.done = true;
+    }
+    box.cv.notify_all();
+  }
+  for (auto& th : consumers) th.join();
+
+  EXPECT_EQ(delivered.load(), kMessages * kConsumers);
+  EXPECT_EQ(cache_ok.load(), kMessages * kConsumers);
+}
+
+TEST(PayloadThreads, StatsCountersStayExactUnderContention) {
+  auto& stats = Payload::stats();
+  const std::uint64_t frozen0 = stats.frozen;
+  const std::uint64_t adopted0 = stats.adopted;
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      serde::Writer w;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        w.clear();
+        w.u8(static_cast<std::uint8_t>(i));
+        Payload frozen = Payload::freeze(w);   // +1 frozen
+        Payload adopted = std::vector<std::uint8_t>{1, 2};  // +1 adopted
+        (void)frozen;
+        (void)adopted;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(stats.frozen - frozen0, kThreads * kPerThread);
+  EXPECT_EQ(stats.adopted - adopted0, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace tbft

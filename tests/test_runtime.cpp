@@ -124,7 +124,7 @@ TEST(Runtime, TraceCountsNetworkMessagesNotSelfSends) {
 TEST(Runtime, DecisionRecordingAndAgreement) {
   class Decider final : public ProtocolNode {
    public:
-    void on_start() override { ctx().report_decision(0, Value{7}); }
+    void on_start() override { ctx().publish_commit(0, Value{7}); }
     void on_message(NodeId, const Payload&) override {}
     void on_timer(TimerId) override {}
   };
@@ -265,9 +265,9 @@ TEST(Runtime, TimerIdsAreNeverZeroAndNeverRepeatWhileArmed) {
 
 TEST(Runtime, BroadcastSharesOnePayloadAcrossRecipients) {
   auto& stats = Payload::stats();
-  const auto frozen_before = stats.frozen;
-  const auto adopted_before = stats.adopted;
-  const auto copies_before = stats.buffer_copies;
+  const std::uint64_t frozen_before = stats.frozen;
+  const std::uint64_t adopted_before = stats.adopted;
+  const std::uint64_t copies_before = stats.buffer_copies;
 
   Simulation sim(basic_cfg());
   for (int i = 0; i < 8; ++i) sim.add_node(std::make_unique<BroadcastOnceNode>());
