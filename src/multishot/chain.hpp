@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "multishot/block.hpp"
@@ -43,8 +44,9 @@ struct Notarization {
 
 class ChainStore {
  public:
-  explicit ChainStore(std::size_t tail_capacity = FinalizedStore::kDefaultTailCapacity)
-      : window_(kWindow + 1, 1), store_(tail_capacity) {}
+  explicit ChainStore(std::size_t tail_capacity = FinalizedStore::kDefaultTailCapacity,
+                      Slot commit_epoch_slots = 0)
+      : window_(kWindow + 1, 1), store_(tail_capacity, commit_epoch_slots) {}
 
   /// Remember a candidate block (from a proposal). Returns false when the
   /// slot is outside the acceptance window (finalized or too far ahead).
@@ -134,6 +136,25 @@ class ChainStore {
   /// Window slabs ever allocated == peak unfinalized-slot occupancy
   /// (bounded-storage regression tests).
   [[nodiscard]] std::size_t window_slabs() const noexcept { return window_.slab_count(); }
+
+  // --- durability & state transfer ---------------------------------------
+
+  /// Resume an EMPTY chain from durable state: adopt the checkpoint, install
+  /// the commit digest set (skipped when empty -- a pre-first-checkpoint
+  /// restart has none), then replay the WAL tail blocks in slot order.
+  /// Replay bypasses the on_finalized hook: these blocks were already
+  /// committed/acknowledged in the previous life, and re-notifying would
+  /// double-count them. Pre-start only (asserted via the empty-store
+  /// contract of FinalizedStore::restore).
+  void restore_state(const Checkpoint& cp, std::span<const std::uint8_t> commit_state,
+                     std::vector<Block>&& tail);
+
+  /// Adopt a vouched remote checkpoint ahead of the local tip (checkpoint
+  /// state transfer): resets the finalized store onto the remote prefix,
+  /// replaces the commit digest set, and prunes now-stale window state.
+  /// Returns false (and changes nothing) when the checkpoint is not ahead
+  /// or the commit blob is malformed.
+  bool install_checkpoint(const Checkpoint& cp, std::span<const std::uint8_t> commit_state);
 
   /// Slots further than this past the finalized tip are rejected (defends
   /// storage against Byzantine far-future spam; honest traffic stays within

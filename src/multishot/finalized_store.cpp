@@ -17,6 +17,8 @@ void FinalizedStore::append(Block&& b) {
     for_each_frame(oldest.payload,
                    [this](std::span<const std::uint8_t>) { ++checkpoint_.tx_count; });
     checkpoint_.slot = oldest.slot;
+    checkpoint_.boundary_hash = oldest.hash();
+    if (epoch_slots_ > 0) index_.rotate_epochs(checkpoint_.slot, epoch_slots_);
   }
   tip_ = b.slot;
   tip_hash_ = b.hash();
@@ -53,6 +55,19 @@ Slot FinalizedStore::commit_slot(std::span<const std::uint8_t> tx,
     return true;
   });
   return found;
+}
+
+std::optional<Checkpoint> FinalizedStore::checkpoint_at(Slot s) const {
+  if (s < checkpoint_.slot || s > tip_) return std::nullopt;
+  Checkpoint cp = checkpoint_;
+  for (Slot t = tail_first(); t <= s; ++t) {
+    const Block& b = ring_[slot_index(t, Slot{1}) % cap_];
+    cp.chain_hash = hash_combine(cp.chain_hash, b.hash());
+    for_each_frame(b.payload, [&cp](std::span<const std::uint8_t>) { ++cp.tx_count; });
+    cp.slot = t;
+    cp.boundary_hash = b.hash();
+  }
+  return cp;
 }
 
 std::size_t FinalizedStore::resident_bytes() const noexcept {

@@ -13,6 +13,7 @@
 #include "common/types.hpp"
 #include "core/messages.hpp"
 #include "multishot/block.hpp"
+#include "multishot/finalized_store.hpp"
 
 namespace tbft::multishot {
 
@@ -26,6 +27,8 @@ enum class MsType : std::uint8_t {
   SyncRequest = 17,
   SyncChunk = 18,
   ForwardTx = 19,
+  CheckpointRequest = 20,
+  CheckpointChunk = 21,
 };
 
 struct MsProposal {
@@ -229,8 +232,9 @@ struct MsSyncRequest {
 /// it has nothing finalized there -- the frontier still tells the requester
 /// where the tip is.
 struct MsSyncChunk {
-  Slot frontier{0};  // responder's first unfinalized slot
-  Slot start{0};     // slot of blocks[0]; 0 when the chunk carries no blocks
+  Slot frontier{0};    // responder's first unfinalized slot
+  Slot tail_first{1};  // first slot still resident in the responder's tail
+  Slot start{0};       // slot of blocks[0]; 0 when the chunk carries no blocks
   std::vector<Block> blocks;
 
   friend bool operator==(const MsSyncChunk&, const MsSyncChunk&) = default;
@@ -240,6 +244,7 @@ struct MsSyncChunk {
   void encode(serde::Writer& w) const {
     w.u8(static_cast<std::uint8_t>(MsType::SyncChunk));
     w.u64(frontier);
+    w.u64(tail_first);
     w.u64(start);
     w.varint(blocks.size());
     for (const auto& b : blocks) b.encode(w);
@@ -247,9 +252,15 @@ struct MsSyncChunk {
   static MsSyncChunk decode(serde::Reader& r) {
     MsSyncChunk m;
     m.frontier = r.u64();
+    m.tail_first = r.u64();
     m.start = r.u64();
     const auto count = r.varint();
-    if (m.frontier < 1 || count > kMaxBlocksPerChunk || (m.start == 0 && count > 0)) {
+    // tail_first locates the responder's servable range [tail_first,
+    // frontier): a refusal hint carrying it lets the requester decide
+    // whether any peer's tail can still cover the gap, or checkpoint state
+    // transfer is the only way back.
+    if (m.frontier < 1 || m.tail_first < 1 || m.tail_first > m.frontier ||
+        count > kMaxBlocksPerChunk || (m.start == 0 && count > 0)) {
       r.fail();
       return m;
     }
@@ -288,8 +299,74 @@ struct MsForwardTx {
   }
 };
 
+/// Checkpoint state transfer, requester side: "serve me your checkpoint
+/// recomputed at anchor slot `at`". Broadcast by a node whose gap reaches
+/// below every peer's compacted tail (range sync refused everywhere): the
+/// requester picks an anchor servable by >= f+1 peers from their refusal
+/// hints, and installs the answer only once f+1 senders vouch for a
+/// byte-identical state (unauthenticated model: one honest voucher).
+struct MsCheckpointRequest {
+  Slot at{0};  // requested anchor: responders serve checkpoint_at(at)
+
+  friend bool operator==(const MsCheckpointRequest&, const MsCheckpointRequest&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsType::CheckpointRequest));
+    w.u64(at);
+  }
+  static MsCheckpointRequest decode(serde::Reader& r) {
+    MsCheckpointRequest m;
+    m.at = r.u64();
+    if (m.at < 1) r.fail();
+    return m;
+  }
+};
+
+/// One slice of a checkpoint transfer: the checkpoint recomputed at the
+/// requested anchor, the identity of the full commit-state blob (hash +
+/// size, the vouching unit), and `data` = blob bytes at `offset`. Small
+/// states fit one chunk; large ones stream.
+struct MsCheckpointChunk {
+  Checkpoint cp{};
+  std::uint64_t state_hash{0};  // fnv1a64 over the whole commit-state blob
+  std::uint64_t state_size{0};  // total blob bytes
+  std::uint64_t offset{0};      // position of data[0] within the blob
+  std::vector<std::uint8_t> data;
+
+  friend bool operator==(const MsCheckpointChunk&, const MsCheckpointChunk&) = default;
+
+  static constexpr std::size_t kMaxChunkBytes = 4096;
+  /// Byzantine resource-exhaustion bound on the claimed blob size (matches
+  /// the commit-index install bound; honest states are far smaller).
+  static constexpr std::uint64_t kMaxStateBytes = std::uint64_t{1} << 26;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsType::CheckpointChunk));
+    cp.encode(w);
+    w.u64(state_hash);
+    w.u64(state_size);
+    w.u64(offset);
+    w.bytes(data);
+  }
+  static MsCheckpointChunk decode(serde::Reader& r) {
+    MsCheckpointChunk m;
+    m.cp = Checkpoint::decode(r);
+    m.state_hash = r.u64();
+    m.state_size = r.u64();
+    m.offset = r.u64();
+    m.data = r.bytes();
+    if (m.cp.slot < 1 || m.state_size < 1 || m.state_size > kMaxStateBytes ||
+        m.data.empty() || m.data.size() > kMaxChunkBytes ||
+        m.data.size() > m.state_size || m.offset > m.state_size - m.data.size()) {
+      r.fail();
+    }
+    return m;
+  }
+};
+
 using MsMessage = std::variant<MsProposal, MsVote, MsSuggest, MsProof, MsViewChange,
-                               MsChainInfo, MsSyncRequest, MsSyncChunk, MsForwardTx>;
+                               MsChainInfo, MsSyncRequest, MsSyncChunk, MsForwardTx,
+                               MsCheckpointRequest, MsCheckpointChunk>;
 
 std::vector<std::uint8_t> encode_ms(const MsMessage& m);
 

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "storage/durable_chain.hpp"
 
 namespace tbft::multishot {
 
@@ -68,6 +69,8 @@ std::optional<MsMessage> decode_ms(std::span<const std::uint8_t> payload) {
     case MsType::SyncRequest: out = MsSyncRequest::decode(r); break;
     case MsType::SyncChunk: out = MsSyncChunk::decode(r); break;
     case MsType::ForwardTx: out = MsForwardTx::decode(r); break;
+    case MsType::CheckpointRequest: out = MsCheckpointRequest::decode(r); break;
+    case MsType::CheckpointChunk: out = MsCheckpointChunk::decode(r); break;
     default: return std::nullopt;
   }
   if (!r.done()) return std::nullopt;
@@ -77,7 +80,7 @@ std::optional<MsMessage> decode_ms(std::span<const std::uint8_t> payload) {
 MultishotNode::MultishotNode(MultishotConfig cfg)
     : cfg_(cfg),
       qp_(cfg.quorum_params()),
-      chain_(cfg.finalized_tail),
+      chain_(cfg.finalized_tail, cfg.commit_epoch_slots),
       mempool_(cfg.mempool_capacity, cfg.mempool_policy) {
   // Both finalization paths (depth-4 rule and claim adoption) notify through
   // this one hook, before the block can be compacted out of the tail.
@@ -85,8 +88,11 @@ MultishotNode::MultishotNode(MultishotConfig cfg)
 }
 
 void MultishotNode::on_start() {
-  start_slot(1);
-  try_propose(1);
+  // A chain restored from durable state resumes at its recovered frontier,
+  // not slot 1.
+  const Slot first = chain_.first_unfinalized();
+  start_slot(first);
+  try_propose(first);
 }
 
 bool MultishotNode::submit_tx(std::vector<std::uint8_t> tx) {
@@ -489,6 +495,10 @@ void MultishotNode::finalize_progress() {
 }
 
 void MultishotNode::note_finalized(const Block& b) {
+  // Durability FIRST: the WAL record (and any due checkpoint) must be on
+  // its way to disk before the commit is published or acknowledged -- a
+  // crash right after the ack must recover the block.
+  if (durable_ != nullptr) durable_->append(b, chain_.finalized());
   ctx().publish_commit(b.slot, b.value(), b.payload);
   // Mempool reconciliation against the winning block: transactions that made
   // it into the chain leave the pool; my inflight transactions attributed to
@@ -701,6 +711,29 @@ void MultishotNode::on_timer(runtime::TimerId id) {
     }
     return;
   }
+  if (id == ckpt_.timer) {
+    // Checkpoint-fetch progress timer: with new bytes or vouches since the
+    // last firing, re-broadcast the request (responders may have rotated or
+    // the chosen identity switched); a silent window abandons the fetch --
+    // the next refusal round re-derives a fresh anchor from live hints.
+    ckpt_.timer = 0;
+    if (ckpt_.anchor == 0) return;
+    if (chain_.finalized_count() >= ckpt_.anchor) {
+      // Overtaken: range sync / adoption caught up past the anchor.
+      finish_ckpt_fetch();
+      return;
+    }
+    std::uint64_t progress = ckpt_.received;
+    for (const auto& ident : ckpt_.identities) progress += ident.vouchers.count();
+    if (progress > ckpt_.progress_mark) {
+      ckpt_.progress_mark = progress;
+      broadcast_ms(MsCheckpointRequest{ckpt_.anchor});
+      ckpt_.timer = ctx().set_timer(sync_timeout());
+    } else {
+      finish_ckpt_fetch();
+    }
+    return;
+  }
   // Resolve the timer to its slot by scanning the window: timers fire orders
   // of magnitude less often than votes arrive, so the bounded sweep beats
   // maintaining reverse-index maps on the hot path.
@@ -826,6 +859,7 @@ void MultishotNode::note_frontier(Slot frontier) {
 }
 
 void MultishotNode::maybe_request_sync() {
+  if (!cfg_.enable_sync) return;
   const Slot first = chain_.first_unfinalized();
   if (sync_.target <= first) {
     // Caught up with every frontier we ever heard of: sync is over.
@@ -837,6 +871,9 @@ void MultishotNode::maybe_request_sync() {
     sync_.requested_upto = 0;
     return;
   }
+  // A checkpoint fetch owns the catch-up: ranged requests would be refused
+  // again (the gap reaches below every answering tail) -- no timer-spin.
+  if (ckpt_.anchor != 0) return;
   // Small gaps heal through the ChainInfo fast path without a round-trip.
   if (sync_.target <= first + MsChainInfo::kMaxBlocks) return;
   // An in-flight request still covers unadopted slots: let it stream.
@@ -862,12 +899,14 @@ void MultishotNode::handle(NodeId from, const MsSyncRequest& m) {
   if (from == ctx().id()) return;  // own broadcast
   MsSyncChunk hint;
   hint.frontier = chain_.first_unfinalized();
+  hint.tail_first = chain_.tail_first();
   // Serve only resident finalized blocks, within the pipeline bound (defends
   // responder bandwidth against Byzantine huge ranges).
   const Slot upto = std::min({m.upto, hint.frontier, m.from + kSyncPipelineDepth});
   if (m.from < chain_.tail_first() || m.from >= upto) {
-    // Refusal with a frontier hint: the range is compacted past our tail, or
-    // we hold nothing the requester lacks. Discovery keeps moving either way.
+    // Refusal with a hint: the range is compacted past our tail, or we hold
+    // nothing the requester lacks. The (tail_first, frontier) pair tells the
+    // requester whether checkpoint transfer is its only way back.
     ctx().metrics().counter("multishot.sync.refused").add();
     send_ms(from, hint);
     return;
@@ -875,6 +914,7 @@ void MultishotNode::handle(NodeId from, const MsSyncRequest& m) {
   for (Slot s = m.from; s < upto; s += slot_count(MsSyncChunk::kMaxBlocksPerChunk)) {
     MsSyncChunk out;
     out.frontier = hint.frontier;
+    out.tail_first = hint.tail_first;
     out.start = s;
     const Slot stop = std::min(upto, s + slot_count(MsSyncChunk::kMaxBlocksPerChunk));
     for (Slot t = s; t < stop; ++t) out.blocks.push_back(*chain_.block_at(t));
@@ -890,10 +930,182 @@ void MultishotNode::handle(NodeId from, const MsSyncChunk& m) {
     sync_.adopted_since_request += adopted;
     ctx().metrics().counter("multishot.sync.blocks_adopted").add(adopted);
   }
+  // A refusal whose tail starts past our frontier proves this peer cannot
+  // serve our gap from resident blocks: record its servable checkpoint
+  // range and pivot to checkpoint transfer once f+1 peers agree (instead of
+  // spinning on the progress timer re-requesting a compacted range).
+  if (m.start == 0 && m.blocks.empty() && m.frontier > chain_.first_unfinalized() &&
+      m.tail_first > chain_.first_unfinalized()) {
+    note_ckpt_range(from, m.tail_first, m.frontier);
+  }
   // Continuation cursor: adopting up to requested_upto makes the next
   // maybe_request_sync issue the follow-up range; a fresher frontier in the
   // chunk extends the target first.
   note_frontier(m.frontier);
+}
+
+// --- Checkpoint state transfer ---------------------------------------------
+
+void MultishotNode::note_ckpt_range(NodeId from, Slot tail_first, Slot frontier) {
+  if (!cfg_.enable_sync) return;
+  if (ckpt_.peers.size() != cfg_.n) ckpt_.peers.assign(cfg_.n, {});
+  ckpt_.peers[from] = CkptFetch::PeerRange{tail_first, frontier};
+  maybe_start_ckpt_fetch();
+}
+
+void MultishotNode::maybe_start_ckpt_fetch() {
+  if (ckpt_.anchor != 0) return;  // one fetch at a time
+  // Anchor choice: the lowest advertised tip (frontier - 1). Checkpoints
+  // only trail tips, so every roughly-caught-up peer can recompute its
+  // checkpoint there; peers whose compaction already passed it (tail_first
+  // - 1 > S) do not qualify. The fetch starts only when a blocking set
+  // (f+1: at least one honest) can serve the anchor -- fewer could mean f
+  // Byzantine hints fabricating an unservable slot.
+  Slot anchor = 0;
+  for (const auto& p : ckpt_.peers) {
+    if (p.frontier == 0) continue;
+    if (anchor == 0 || p.frontier - 1 < anchor) anchor = p.frontier - 1;
+  }
+  if (anchor == 0 || anchor <= chain_.finalized_count()) return;
+  std::uint32_t servers = 0;
+  for (const auto& p : ckpt_.peers) {
+    if (p.frontier == 0) continue;
+    if (p.tail_first - 1 <= anchor && anchor <= p.frontier - 1) ++servers;
+  }
+  if (!qp_.is_blocking(servers)) return;
+  ckpt_.reset_transfer();
+  ckpt_.anchor = anchor;
+  if (ckpt_.timer != 0) ctx().cancel_timer(ckpt_.timer);
+  ckpt_.timer = ctx().set_timer(sync_timeout());
+  ctx().metrics().counter("multishot.ckpt.requests").add();
+  broadcast_ms(MsCheckpointRequest{anchor});
+}
+
+void MultishotNode::handle(NodeId from, const MsCheckpointRequest& m) {
+  if (from == ctx().id()) return;  // own broadcast
+  const auto cp = chain_.finalized().checkpoint_at(m.at);
+  if (!cp.has_value()) {
+    // Outside [checkpoint.slot, tip]: compacted below, or not finalized yet.
+    ctx().metrics().counter("multishot.ckpt.refused").add();
+    return;
+  }
+  serde::Writer w;
+  chain_.finalized().encode_commit_state(w, m.at);
+  const std::vector<std::uint8_t> blob = w.take();
+  const std::uint64_t state_hash = fnv1a64(blob);
+  ctx().metrics().counter("multishot.ckpt.served").add();
+  for (std::size_t off = 0; off < blob.size(); off += MsCheckpointChunk::kMaxChunkBytes) {
+    MsCheckpointChunk out;
+    out.cp = *cp;
+    out.state_hash = state_hash;
+    out.state_size = blob.size();
+    out.offset = off;
+    const std::size_t len = std::min(MsCheckpointChunk::kMaxChunkBytes, blob.size() - off);
+    out.data.assign(blob.begin() + static_cast<std::ptrdiff_t>(off),
+                    blob.begin() + static_cast<std::ptrdiff_t>(off + len));
+    send_ms(from, out);
+  }
+}
+
+void MultishotNode::handle(NodeId from, const MsCheckpointChunk& m) {
+  if (from == ctx().id()) return;
+  if (ckpt_.anchor == 0 || m.cp.slot != ckpt_.anchor) return;  // stale / unsolicited
+  // Identity of the offered state: checkpoint fields + blob hash + size.
+  // Vouching is over the identity; the bytes themselves are verified against
+  // state_hash before install, so only ONE sender's bytes are ever buffered.
+  std::uint64_t idhash = hash_combine(m.cp.slot, m.cp.chain_hash);
+  idhash = hash_combine(idhash, m.cp.tx_count);
+  idhash = hash_combine(idhash, m.cp.boundary_hash);
+  idhash = hash_combine(idhash, m.state_hash);
+  idhash = hash_combine(idhash, m.state_size);
+
+  std::size_t idx = ckpt_.identities.size();
+  for (std::size_t i = 0; i < ckpt_.identities.size(); ++i) {
+    if (ckpt_.identities[i].idhash == idhash) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == ckpt_.identities.size()) {
+    if (idx == CkptFetch::kMaxIdentities) return;  // Byzantine fan-out bound
+    CkptFetch::Identity ident;
+    ident.idhash = idhash;
+    ident.cp = m.cp;
+    ident.state_hash = m.state_hash;
+    ident.state_size = m.state_size;
+    ident.vouchers.reset(cfg_.n);
+    ckpt_.identities.push_back(std::move(ident));
+  }
+  CkptFetch::Identity& ident = ckpt_.identities[idx];
+  ident.vouchers.insert(from);
+
+  if (ckpt_.chosen == SIZE_MAX) ckpt_.chosen = idx;
+  if (ckpt_.chosen == idx) {
+    // Contiguous fill of the chosen identity's blob (chunks may repeat on
+    // re-request; overlaps are tolerated, gaps wait for re-delivery).
+    if (m.offset <= ckpt_.received && m.offset + m.data.size() > ckpt_.received) {
+      const std::size_t skip = static_cast<std::size_t>(ckpt_.received - m.offset);
+      ckpt_.buf.insert(ckpt_.buf.end(),
+                       m.data.begin() + static_cast<std::ptrdiff_t>(skip), m.data.end());
+      ckpt_.received = m.offset + m.data.size();
+    }
+  } else if (qp_.is_blocking(ident.vouchers.count())) {
+    // A different identity reached the vouching bar first (the initially
+    // chosen sender was Byzantine or rotation-skewed): switch to it and
+    // re-request its bytes.
+    ckpt_.chosen = idx;
+    ckpt_.buf.clear();
+    ckpt_.received = 0;
+    broadcast_ms(MsCheckpointRequest{ckpt_.anchor});
+    return;
+  }
+
+  const CkptFetch::Identity& chosen = ckpt_.identities[ckpt_.chosen];
+  if (qp_.is_blocking(chosen.vouchers.count()) && ckpt_.received == chosen.state_size &&
+      fnv1a64(ckpt_.buf) == chosen.state_hash) {
+    install_fetched_checkpoint(chosen);
+  }
+}
+
+void MultishotNode::install_fetched_checkpoint(const CkptFetch::Identity& ident) {
+  if (!chain_.install_checkpoint(ident.cp, ckpt_.buf)) {
+    finish_ckpt_fetch();  // overtaken while the transfer streamed
+    return;
+  }
+  ctx().metrics().counter("multishot.ckpt.installed").add();
+  // Mempool reconciliation against the adopted prefix: entries the digest
+  // set reports committed leave the pool (their blocks are compacted -- the
+  // per-block reconciliation in note_finalized never saw them); inflight
+  // entries attributed to swallowed slots are settled either way.
+  auto& entries = mempool_.entries();
+  for (auto it = entries.begin(); it != entries.end();) {
+    if (chain_.commit_slot(it->tx, it->hash) != 0) {
+      it = mempool_.erase(it);
+      continue;
+    }
+    if (it->inflight && it->slot <= ident.cp.slot) mempool_.release(*it);
+    ++it;
+  }
+  finish_ckpt_fetch();
+  prune_slots();
+  // Resume: the remaining gap (anchor .. live frontier) is range-syncable
+  // again, and the freshly advanced chain may unblock voting/proposing.
+  const Slot next = chain_.first_unfinalized();
+  wake_slot(next);
+  try_vote(next);
+  try_propose(next);
+  maybe_request_sync();
+}
+
+void MultishotNode::finish_ckpt_fetch() {
+  if (ckpt_.timer != 0) {
+    ctx().cancel_timer(ckpt_.timer);
+    ckpt_.timer = 0;
+  }
+  ckpt_.reset_transfer();
+  // Peer ranges are cleared too: they described a gap that no longer exists
+  // (or hints that went stale); the next refusal round repopulates them.
+  ckpt_.peers.assign(ckpt_.peers.size(), {});
 }
 
 // --- Client-request forwarding ---------------------------------------------

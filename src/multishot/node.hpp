@@ -51,6 +51,10 @@
 #include "multishot/slot_window.hpp"
 #include "runtime/host.hpp"
 
+namespace tbft::storage {
+class DurableChain;
+}  // namespace tbft::storage
+
 namespace tbft::multishot {
 
 struct MultishotConfig {
@@ -71,6 +75,12 @@ struct MultishotConfig {
   std::size_t finalized_tail{FinalizedStore::kDefaultTailCapacity};
   /// Range-sync progress timeout (re-request cadence). 0 = 3 * delta_bound.
   runtime::Duration sync_timeout{0};
+  /// Commit-index epoch rotation cadence in slots (0 = off): bounds
+  /// commit-dedup memory; see CommitIndex in finalized_store.hpp.
+  Slot commit_epoch_slots{0};
+  /// Master switch for the catch-up requester machinery (range sync +
+  /// checkpoint state transfer). Responding to peers stays on either way.
+  bool enable_sync{true};
 
   // --- Client-request forwarding ---
   /// Forward transactions submitted to a non-leader to the proposal-frontier
@@ -153,6 +163,26 @@ class MultishotNode : public runtime::ProtocolNode {
   /// Slot-state slabs ever allocated == peak concurrently-live slots
   /// (bounded-storage regression tests).
   [[nodiscard]] std::size_t slot_slabs() const noexcept { return slots_.slab_count(); }
+
+  // --- Durability (src/storage/) ---
+  /// Resume the chain from durable state (checkpoint + commit blob + WAL
+  /// tail). Pre-start only: replay bypasses commit/mempool hooks -- those
+  /// blocks were acknowledged in the previous life.
+  void restore_chain(const Checkpoint& cp, std::span<const std::uint8_t> commit_state,
+                     std::vector<Block> tail) {
+    chain_.restore_state(cp, commit_state, std::move(tail));
+    // The consensus windows start at slot 1; a restored chain resumes at its
+    // recovered frontier. Without this advance every slot_state() probe at
+    // the frontier lands outside the ring and the node can never arm a
+    // timer or propose again. Both windows are empty pre-start, so no
+    // eviction (timer cancellation) runs.
+    slots_.advance_base(chain_.first_unfinalized());
+    chain_claims_.advance_base(chain_.first_unfinalized());
+  }
+  /// Persist every newly finalized block through `d` (WAL append + periodic
+  /// durable checkpoint) before it is acknowledged. `d` must outlive the
+  /// node; nullptr detaches. The node runs fully in-memory without one.
+  void set_durable(storage::DurableChain* d) noexcept { durable_ = d; }
 
  protected:
   // Byzantine subclasses override.
@@ -301,6 +331,8 @@ class MultishotNode : public runtime::ProtocolNode {
   void handle(NodeId from, const MsSyncRequest& m);
   void handle(NodeId from, const MsSyncChunk& m);
   void handle(NodeId from, const MsForwardTx& m);
+  void handle(NodeId from, const MsCheckpointRequest& m);
+  void handle(NodeId from, const MsCheckpointChunk& m);
 
   // --- Range-sync catch-up (requester side) ---
   /// Fold a peer's advertised frontier into the sync target and (re)issue a
@@ -368,6 +400,58 @@ class MultishotNode : public runtime::ProtocolNode {
     std::size_t adopted_since_request{0};
   };
 
+  // --- Checkpoint state transfer (requester side) ---
+  /// Active while this node's gap reaches below every answering peer's
+  /// compacted tail: range sync cannot help (responders only serve resident
+  /// blocks), so the node requests a recomputed checkpoint at an anchor
+  /// servable by >= f+1 peers and installs the first state f+1 senders
+  /// vouch for byte-identically.
+  struct CkptFetch {
+    /// Servable checkpoint-anchor range advertised by a peer's refusal
+    /// hint: [tail_first - 1, frontier - 1]. frontier == 0 = unheard.
+    struct PeerRange {
+      Slot tail_first{0};
+      Slot frontier{0};
+    };
+    /// Distinct (checkpoint, state hash/size) identities tolerated per
+    /// fetch before Byzantine fan-out is ignored (honest answers for one
+    /// anchor agree up to rotation skew).
+    static constexpr std::size_t kMaxIdentities = 4;
+    struct Identity {
+      std::uint64_t idhash{0};
+      Checkpoint cp{};
+      std::uint64_t state_hash{0};
+      std::uint64_t state_size{0};
+      NodeBitmap vouchers;
+    };
+
+    std::vector<PeerRange> peers;  // per sender; sized n lazily
+    Slot anchor{0};                // requested anchor slot (0 = no fetch active)
+    runtime::TimerId timer{0};
+    std::vector<Identity> identities;
+    std::size_t chosen{SIZE_MAX};  // identity whose blob bytes we buffer
+    std::vector<std::uint8_t> buf;
+    std::uint64_t received{0};       // contiguous blob bytes buffered
+    std::uint64_t progress_mark{0};  // received + vouches at the last timer
+
+    void reset_transfer() {
+      anchor = 0;
+      identities.clear();
+      chosen = SIZE_MAX;
+      buf.clear();
+      received = 0;
+      progress_mark = 0;
+    }
+  };
+
+  /// Record a refusal hint that proves the peer's tail cannot cover our
+  /// gap, and start a checkpoint fetch once >= f+1 such peers share a
+  /// servable anchor.
+  void note_ckpt_range(NodeId from, Slot tail_first, Slot frontier);
+  void maybe_start_ckpt_fetch();
+  void install_fetched_checkpoint(const CkptFetch::Identity& id);
+  void finish_ckpt_fetch();
+
   /// Bounded recent-hash set for forward dedup: open addressing over a
   /// power-of-two table, cleared wholesale at 3/4 occupancy (that is the
   /// dedup window; re-forwards of *committed* requests are caught by the
@@ -419,8 +503,10 @@ class MultishotNode : public runtime::ProtocolNode {
   SlotWindow<ClaimSlab> chain_claims_{kClaimWindow + 1, 1};
   BoundedMempool mempool_;
   SyncState sync_;
+  CkptFetch ckpt_;
   RecentSet forward_seen_;
   CommitHook commit_hook_;
+  storage::DurableChain* durable_{nullptr};
   /// Batch timers currently armed across the window (fast-path gate for the
   /// submit_tx wake scan).
   std::size_t batch_timers_armed_{0};

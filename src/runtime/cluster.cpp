@@ -1,5 +1,7 @@
 #include "tetrabft.hpp"
 
+#include <filesystem>
+#include <string>
 #include <utility>
 
 namespace tbft {
@@ -43,7 +45,12 @@ void Cluster::on_commit(CommitCallback cb) {
 
 void Cluster::start() { runner_.start(); }
 
-void Cluster::stop() { runner_.stop(); }
+void Cluster::stop() {
+  runner_.stop();
+  // Replica threads are quiescent now: push any buffered WAL tail to disk so
+  // an orderly shutdown loses nothing regardless of the flush cadence.
+  for (auto& durable : durables_) durable->flush();
+}
 
 bool Cluster::wait_for(const std::function<bool()>& pred, runtime::Duration timeout) {
   std::unique_lock<std::mutex> lk(hub_.mx);
@@ -130,11 +137,64 @@ ClusterBuilder& ClusterBuilder::sim_delta_actual(runtime::Duration delta) {
   sim_delta_actual_ = delta;
   return *this;
 }
+ClusterBuilder& ClusterBuilder::data_dir(std::string path) {
+  if (path.empty()) {
+    throw std::invalid_argument(
+        "ClusterBuilder: data_dir must be a non-empty path (omit the call for "
+        "an in-memory cluster)");
+  }
+  data_dir_ = std::move(path);
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::range_sync(bool on) {
+  enable_sync_ = on;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::commit_epochs(Slot slots) {
+  commit_epoch_slots_ = slots;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::checkpoint_every(Slot slots) {
+  if (slots == 0) {
+    throw std::invalid_argument("ClusterBuilder: checkpoint_every must be > 0 slots");
+  }
+  checkpoint_every_ = slots;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::wal_flush_every(std::uint32_t records) {
+  if (records == 0) {
+    throw std::invalid_argument("ClusterBuilder: wal_flush_every must be > 0 records");
+  }
+  wal_flush_every_ = records;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::wal_segment_bytes(std::size_t bytes) {
+  if (bytes == 0) {
+    throw std::invalid_argument("ClusterBuilder: wal_segment_bytes must be > 0");
+  }
+  wal_segment_bytes_ = bytes;
+  return *this;
+}
 
 multishot::MultishotConfig ClusterBuilder::node_config() const {
   const std::uint32_t f = f_.has_value() ? *f_ : (n_ > 0 ? (n_ - 1) / 3 : 0);
   // QuorumParams validates n > 3f (and n > 0) with a descriptive throw.
   (void)QuorumParams(n_, f);
+  if (finalized_tail_ < 8) {
+    throw std::logic_error(
+        "ClusterBuilder: storage_tail(" + std::to_string(finalized_tail_) +
+        ") is below the 8-block floor FinalizedStore needs to keep compaction "
+        "behind the finalization frontier; raise storage_tail to at least 8");
+  }
+  if (enable_sync_ && finalized_tail_ < multishot::ChainStore::kWindow) {
+    throw std::logic_error(
+        "ClusterBuilder: storage_tail(" + std::to_string(finalized_tail_) +
+        ") is smaller than the " + std::to_string(multishot::ChainStore::kWindow) +
+        "-slot unfinalized window, so range-sync could compact away blocks a "
+        "lagging peer still needs; raise storage_tail to at least " +
+        std::to_string(multishot::ChainStore::kWindow) +
+        " or disable it with range_sync(false)");
+  }
   multishot::MultishotConfig cfg;
   cfg.n = n_;
   cfg.f = f;
@@ -147,11 +207,36 @@ multishot::MultishotConfig ClusterBuilder::node_config() const {
   cfg.mempool_policy = mempool_policy_;
   cfg.finalized_tail = finalized_tail_;
   cfg.forward_to_leader = forward_to_leader_;
+  cfg.commit_epoch_slots = commit_epoch_slots_;
+  cfg.enable_sync = enable_sync_;
   return cfg;
 }
 
+std::unique_ptr<storage::DurableChain> ClusterBuilder::attach_durable(
+    NodeId id, multishot::MultishotNode& replica) const {
+  const std::filesystem::path dir =
+      std::filesystem::path(data_dir_) / ("node-" + std::to_string(id));
+  storage::DurableOptions opts;
+  opts.segment_bytes = wal_segment_bytes_;
+  opts.flush_every = wal_flush_every_;
+  opts.checkpoint_every = checkpoint_every_;
+  auto durable = std::make_unique<storage::DurableChain>(dir, opts);
+  storage::RecoveredState rec = durable->recover();
+  if (rec.tip() > 0 || !rec.commit_state.empty()) {
+    replica.restore_chain(rec.checkpoint, rec.commit_state, std::move(rec.tail));
+  }
+  replica.set_durable(durable.get());
+  return durable;
+}
+
 std::unique_ptr<Cluster> ClusterBuilder::build_local() const {
-  return std::unique_ptr<Cluster>(new Cluster(node_config(), seed_));
+  auto cluster = std::unique_ptr<Cluster>(new Cluster(node_config(), seed_));
+  if (!data_dir_.empty()) {
+    for (NodeId i = 0; i < static_cast<NodeId>(cluster->replicas_.size()); ++i) {
+      cluster->durables_.push_back(attach_durable(i, *cluster->replicas_[i]));
+    }
+  }
+  return cluster;
 }
 
 std::unique_ptr<SimCluster> ClusterBuilder::build_sim() const {
@@ -174,6 +259,9 @@ std::unique_ptr<SimCluster> ClusterBuilder::build_sim() const {
     auto node = std::make_unique<multishot::MultishotNode>(node_cfg);
     cluster->replicas_.push_back(node.get());
     cluster->ports_.push_back(std::make_unique<ReplicaPort>(*node));
+    if (!data_dir_.empty()) {
+      cluster->durables_.push_back(attach_durable(i, *node));
+    }
     cluster->sim_->add_node(std::move(node));
   }
   return cluster;

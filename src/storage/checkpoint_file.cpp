@@ -1,0 +1,84 @@
+#include "storage/checkpoint_file.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+#include "common/serde.hpp"
+
+namespace tbft::storage {
+namespace fs = std::filesystem;
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4B43'4254;  // 'TBCK' little-endian
+constexpr std::uint32_t kVersion = 1;
+
+fs::path main_path(const fs::path& dir) { return dir / "checkpoint"; }
+fs::path tmp_path(const fs::path& dir) { return dir / "checkpoint.tmp"; }
+}  // namespace
+
+bool load_checkpoint(const fs::path& dir, DurableCheckpoint& out) {
+  // A leftover tmp means a crash hit between write and rename: the main
+  // file (if any) is still the last complete state; the tmp is garbage.
+  {
+    std::error_code ec;
+    fs::remove(tmp_path(dir), ec);
+  }
+
+  std::FILE* f = std::fopen(main_path(dir).string().c_str(), "rb");
+  if (f == nullptr) return false;
+  std::vector<std::uint8_t> raw;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  raw.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+  const bool read_ok =
+      raw.empty() || std::fread(raw.data(), 1, raw.size(), f) == raw.size();
+  std::fclose(f);
+  if (!read_ok || raw.size() < 8) return false;
+
+  // Trailing checksum covers every preceding byte.
+  const std::span<const std::uint8_t> body{raw.data(), raw.size() - 8};
+  serde::Reader tail({raw.data() + body.size(), 8});
+  if (fnv1a64(body) != tail.u64()) return false;
+
+  serde::Reader r(body);
+  if (r.u32() != kMagic || r.u32() != kVersion) return false;
+  DurableCheckpoint loaded;
+  loaded.cp = multishot::Checkpoint::decode(r);
+  loaded.commit_state = r.bytes();
+  if (!r.done()) return false;
+  out = std::move(loaded);
+  return true;
+}
+
+void store_checkpoint(const fs::path& dir, const DurableCheckpoint& state) {
+  serde::Writer w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  state.cp.encode(w);
+  w.bytes(state.commit_state);
+  w.u64(fnv1a64(w.span()));
+
+  const fs::path tmp = tmp_path(dir);
+  std::FILE* f = std::fopen(tmp.string().c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("checkpoint: cannot open " + tmp.string());
+  }
+  const bool wrote = std::fwrite(w.data().data(), 1, w.size(), f) == w.size();
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw std::runtime_error("checkpoint: write failed for " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, main_path(dir), ec);  // the atomicity point
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("checkpoint: rename failed for " + tmp.string());
+  }
+}
+
+}  // namespace tbft::storage

@@ -1,0 +1,39 @@
+#pragma once
+// Atomic durable checkpoint for one node (DESIGN_PERF.md "Durability").
+//
+// A single file `<dir>/checkpoint` holding the FinalizedStore checkpoint
+// plus the canonical commit digest set through it, written atomically:
+// the new state goes to `checkpoint.tmp` first and replaces the old file
+// with one rename, so a crash at any instant leaves either the previous
+// complete checkpoint or the new complete checkpoint -- never a torn mix.
+//
+// Format:
+//   magic 'TBCK' u32 | version u32 | Checkpoint (serde) |
+//   commit-state blob (serde bytes) | fnv1a64 of everything before it (u64)
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "multishot/finalized_store.hpp"
+
+namespace tbft::storage {
+
+struct DurableCheckpoint {
+  multishot::Checkpoint cp{};
+  /// Canonical CommitIndex blob through cp.slot (encode_commit_state);
+  /// empty when no checkpoint has ever been taken.
+  std::vector<std::uint8_t> commit_state;
+};
+
+/// Load `<dir>/checkpoint` into `out`. Returns false -- leaving `out`
+/// untouched -- when the file is absent, unreadable or fails its checksum
+/// (recovery then starts from genesis + WAL). A stale `checkpoint.tmp`
+/// from a crash mid-store is removed either way.
+bool load_checkpoint(const std::filesystem::path& dir, DurableCheckpoint& out);
+
+/// Atomically replace `<dir>/checkpoint` (write tmp + rename). Throws
+/// std::runtime_error on I/O failure.
+void store_checkpoint(const std::filesystem::path& dir, const DurableCheckpoint& state);
+
+}  // namespace tbft::storage

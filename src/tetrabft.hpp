@@ -25,6 +25,7 @@
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <optional>
@@ -33,6 +34,7 @@
 #include "runtime/host.hpp"
 #include "runtime/local_runner.hpp"
 #include "sim/runtime.hpp"
+#include "storage/durable_chain.hpp"
 #include "workload/generator.hpp"
 
 namespace tbft {
@@ -91,6 +93,12 @@ class Cluster {
 
   [[nodiscard]] runtime::LocalRunner& runner() noexcept { return runner_; }
 
+  /// Replica `id`'s durability driver, or nullptr when the cluster was
+  /// built without ClusterBuilder::data_dir (fully in-memory).
+  [[nodiscard]] storage::DurableChain* durable(NodeId id) {
+    return id < durables_.size() ? durables_[id].get() : nullptr;
+  }
+
  private:
   friend class ClusterBuilder;
   friend class NodeHandle;
@@ -107,6 +115,7 @@ class Cluster {
 
   runtime::LocalRunner runner_;
   std::vector<multishot::MultishotNode*> replicas_;
+  std::vector<std::unique_ptr<storage::DurableChain>> durables_;
   Hub hub_;
 };
 
@@ -147,12 +156,19 @@ class SimCluster {
   /// Run until every replica finalized at least `target` slots.
   bool run_until_all_finalized(Slot target, runtime::Duration deadline);
 
+  /// Replica `id`'s durability driver, or nullptr when the cluster was
+  /// built without ClusterBuilder::data_dir (fully in-memory).
+  [[nodiscard]] storage::DurableChain* durable(NodeId id) {
+    return id < durables_.size() ? durables_[id].get() : nullptr;
+  }
+
  private:
   friend class ClusterBuilder;
   SimCluster() = default;
 
   std::unique_ptr<sim::Simulation> sim_;
   std::vector<multishot::MultishotNode*> replicas_;
+  std::vector<std::unique_ptr<storage::DurableChain>> durables_;
   std::vector<std::unique_ptr<workload::SubmitPort>> ports_;
 };
 
@@ -182,6 +198,32 @@ class ClusterBuilder {
   /// Simulated actual delay (build_sim only; build_local runs on real time).
   ClusterBuilder& sim_delta_actual(runtime::Duration delta);
 
+  /// Root directory for durable storage. Each replica gets
+  /// `<path>/node-<id>` (created on demand): a write-ahead log of finalized
+  /// blocks plus an atomic checkpoint file. build_local()/build_sim()
+  /// recover whatever state those directories hold before any node starts,
+  /// so a rebuilt cluster resumes from its durable tip. Empty (the default)
+  /// keeps the cluster fully in-memory.
+  ClusterBuilder& data_dir(std::string path);
+  /// Enable/disable range-sync catch-up (and with it checkpoint state
+  /// transfer). On by default; disabling it relaxes the tail-vs-window
+  /// validation in node_config().
+  ClusterBuilder& range_sync(bool on);
+  /// Rotate exact commit-index entries into per-epoch Bloom filters every
+  /// `slots` finalized slots (0 = keep every entry exact). Bounds resident
+  /// commit-query memory on long chains.
+  ClusterBuilder& commit_epochs(Slot slots);
+  /// Durable-checkpoint cadence: write a new checkpoint file (and reclaim
+  /// covered WAL segments) every `slots` slots of compaction progress.
+  ClusterBuilder& checkpoint_every(Slot slots);
+  /// fflush the WAL every `records` appends (1 = flush each block; higher
+  /// trades a longer torn tail on crash for less write amplification).
+  ClusterBuilder& wal_flush_every(std::uint32_t records);
+  /// Rotate to a fresh WAL segment once the active one exceeds `bytes`
+  /// (smaller segments reclaim sooner after a checkpoint; larger ones open
+  /// fewer files).
+  ClusterBuilder& wal_segment_bytes(std::size_t bytes);
+
   /// The validated MultishotConfig both backends build from.
   [[nodiscard]] multishot::MultishotConfig node_config() const;
 
@@ -201,6 +243,17 @@ class ClusterBuilder {
   multishot::MempoolPolicy mempool_policy_{multishot::MempoolPolicy::kRejectNew};
   std::size_t finalized_tail_{multishot::FinalizedStore::kDefaultTailCapacity};
   bool forward_to_leader_{true};
+  std::string data_dir_;  // empty = in-memory only
+  bool enable_sync_{true};
+  Slot commit_epoch_slots_{0};
+  Slot checkpoint_every_{1024};
+  std::uint32_t wal_flush_every_{64};
+  std::size_t wal_segment_bytes_{storage::DurableOptions{}.segment_bytes};
+
+  /// Build one replica's DurableChain under data_dir_, recover its durable
+  /// state into `replica`, and attach the write path.
+  std::unique_ptr<storage::DurableChain> attach_durable(
+      NodeId id, multishot::MultishotNode& replica) const;
 };
 
 }  // namespace tbft

@@ -1,0 +1,186 @@
+// Crash-restart recovery through the facade (DESIGN_PERF.md "Durability"):
+// a cluster built with ClusterBuilder::data_dir persists every finalized
+// block, is torn down mid-life, and a second cluster built over the same
+// directories resumes with identical chains and exactly-once commit
+// accounting -- then keeps finalizing. Plus the builder's storage-config
+// validation (inconsistent tail/window/sync combinations fail eagerly).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tetrabft.hpp"
+
+namespace tbft {
+namespace {
+
+namespace fs = std::filesystem;
+using runtime::kMillisecond;
+using runtime::kSecond;
+
+constexpr std::uint32_t kNodes = 4;
+constexpr std::uint32_t kPhase1Txs = 90;
+constexpr std::uint32_t kPhase2Txs = 10;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& name)
+      : path(fs::temp_directory_path() / ("tbft_crash_restart_" + name)) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+std::vector<std::uint8_t> tx_bytes(std::uint32_t j) {
+  return {'c', 'r', static_cast<std::uint8_t>(j >> 8), static_cast<std::uint8_t>(j),
+          0x3C, static_cast<std::uint8_t>(j * 11)};
+}
+
+/// Deterministic one-tx-per-block shape (see test_local_runner.cpp) with a
+/// small finalized tail, fast checkpoint cadence, per-record WAL flushing
+/// and commit-index epoch rotation -- every durability knob exercised.
+ClusterBuilder restart_builder(const std::string& dir) {
+  ClusterBuilder b;
+  b.nodes(kNodes)
+      .seed(7)
+      .delta_bound(1 * kSecond)
+      .sim_delta_actual(1 * kMillisecond)
+      .batching(/*max_txs=*/1, /*max_bytes=*/4096)
+      .forwarding(false)
+      .storage_tail(64)
+      .commit_epochs(8)
+      .data_dir(dir)
+      .checkpoint_every(8)
+      .wal_flush_every(1)
+      .wal_segment_bytes(512);  // tiny segments: rotation + reclaim exercised
+  return b;
+}
+
+TEST(CrashRestart, SimClusterResumesFromDiskWithExactlyOnceCommits) {
+  TempDir dir("sim_churn");
+  std::vector<Slot> counts(kNodes, 0);
+  std::vector<Slot> commit_slots(kPhase1Txs, 0);
+
+  // --- First life: finalize far past the tail, then tear down. -------------
+  {
+    auto cluster = restart_builder(dir.path.string()).build_sim();
+    for (std::uint32_t j = 0; j < kPhase1Txs; ++j) {
+      ASSERT_TRUE(cluster->submit(j % kNodes, tx_bytes(j)));
+    }
+    cluster->start();
+    // Leader rotation does not align with the submission order, so the last
+    // transactions commit a few slots past slot kPhase1Txs: wait for the
+    // transactions themselves, not a finalized count.
+    const auto all_committed = [&] {
+      for (NodeId i = 0; i < kNodes; ++i) {
+        if (!cluster->replica(i).tx_finalized(tx_bytes(kPhase1Txs - 1)) ||
+            !cluster->replica(i).tx_finalized(tx_bytes(kPhase1Txs - 2))) {
+          return false;
+        }
+      }
+      for (std::uint32_t j = 0; j < kPhase1Txs; ++j) {
+        if (!cluster->replica(0).tx_finalized(tx_bytes(j))) return false;
+      }
+      return true;
+    };
+    ASSERT_TRUE(cluster->simulation().run_until_pred(all_committed, 300 * kSecond));
+    for (NodeId i = 0; i < kNodes; ++i) counts[i] = cluster->replica(i).finalized_count();
+    for (std::uint32_t j = 0; j < kPhase1Txs; ++j) {
+      commit_slots[j] = cluster->replica(0).chain().commit_slot(tx_bytes(j));
+      ASSERT_NE(commit_slots[j], 0u) << "tx " << j << " not committed in first life";
+    }
+    // The run compacted (tail 64 < 90 finalized) and checkpointed durably.
+    EXPECT_GT(cluster->replica(0).chain().checkpoint().slot, 0u);
+    ASSERT_NE(cluster->durable(0), nullptr);
+    EXPECT_GE(cluster->durable(0)->checkpoints_stored(), 1u);
+    EXPECT_GT(cluster->durable(0)->wal_stats().segments_reclaimed, 0u);
+  }
+
+  // Simulate node 0 dying mid-write: torn garbage at the end of its newest
+  // WAL segment. Recovery must drop exactly the garbage, no real records
+  // (wal_flush_every(1) made every append durable).
+  {
+    fs::path newest;
+    for (const auto& entry : fs::directory_iterator(dir.path / "node-0")) {
+      if (entry.path().extension() != ".seg") continue;
+      if (newest.empty() || entry.path().filename() > newest.filename()) {
+        newest = entry.path();
+      }
+    }
+    ASSERT_FALSE(newest.empty());
+    std::ofstream f(newest, std::ios::binary | std::ios::app);
+    f.write("\x13\x37", 2);
+  }
+
+  // --- Second life: recover from the same directories. ---------------------
+  auto cluster = restart_builder(dir.path.string()).build_sim();
+  for (NodeId i = 0; i < kNodes; ++i) {
+    ASSERT_NE(cluster->durable(i), nullptr);
+    // Nothing finalized was lost: each replica resumes at its exact tip.
+    EXPECT_EQ(cluster->replica(i).finalized_count(), counts[i]) << "node " << i;
+  }
+  // Exactly-once accounting: every first-life commit answers from the
+  // recovered digest set with its original slot, before any new progress.
+  for (std::uint32_t j = 0; j < kPhase1Txs; ++j) {
+    EXPECT_EQ(cluster->replica(0).chain().commit_slot(tx_bytes(j)), commit_slots[j])
+        << "tx " << j;
+  }
+  {
+    std::vector<multishot::MultishotNode*> replicas;
+    for (NodeId i = 0; i < kNodes; ++i) replicas.push_back(&cluster->replica(i));
+    EXPECT_TRUE(multishot::chains_prefix_consistent(replicas));
+  }
+
+  // The restored cluster is live: it finalizes fresh transactions on top of
+  // the recovered chains.
+  cluster->start();
+  for (std::uint32_t j = 0; j < kPhase2Txs; ++j) {
+    ASSERT_TRUE(cluster->submit(j % kNodes, tx_bytes(kPhase1Txs + j)));
+  }
+  const auto fresh_committed = [&] {
+    for (NodeId i = 0; i < kNodes; ++i) {
+      for (std::uint32_t j = 0; j < kPhase2Txs; ++j) {
+        if (!cluster->replica(i).tx_finalized(tx_bytes(kPhase1Txs + j))) return false;
+      }
+    }
+    return true;
+  };
+  ASSERT_TRUE(cluster->simulation().run_until_pred(fresh_committed, 300 * kSecond));
+  for (NodeId i = 0; i < kNodes; ++i) {
+    EXPECT_GT(cluster->replica(i).finalized_count(), counts[i]) << "node " << i;
+  }
+}
+
+TEST(CrashRestart, BuilderRejectsInconsistentStorageConfigs) {
+  // Tail below the FinalizedStore floor.
+  EXPECT_THROW((void)ClusterBuilder{}.storage_tail(4).node_config(), std::logic_error);
+  // Tail smaller than the unfinalized window while range-sync is on: peers
+  // could compact blocks a straggler still needs.
+  EXPECT_THROW((void)ClusterBuilder{}.storage_tail(32).node_config(), std::logic_error);
+  // ... and the error tells the user both ways out.
+  try {
+    (void)ClusterBuilder{}.storage_tail(32).node_config();
+    FAIL() << "storage_tail(32) with range-sync on must throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("storage_tail"), std::string::npos) << what;
+    EXPECT_NE(what.find("range_sync(false)"), std::string::npos) << what;
+  }
+  // Disabling range-sync (or a window-sized tail) makes the same tail legal.
+  EXPECT_NO_THROW((void)ClusterBuilder{}.storage_tail(32).range_sync(false).node_config());
+  EXPECT_NO_THROW((void)ClusterBuilder{}.storage_tail(multishot::ChainStore::kWindow).node_config());
+  // Durability knobs validate eagerly at the setter.
+  EXPECT_THROW(ClusterBuilder{}.data_dir(""), std::invalid_argument);
+  EXPECT_THROW(ClusterBuilder{}.checkpoint_every(0), std::invalid_argument);
+  EXPECT_THROW(ClusterBuilder{}.wal_flush_every(0), std::invalid_argument);
+  EXPECT_THROW(ClusterBuilder{}.wal_segment_bytes(0), std::invalid_argument);
+  EXPECT_THROW(ClusterBuilder{}.storage_tail(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tbft

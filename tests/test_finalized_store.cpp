@@ -200,13 +200,14 @@ TEST(StorageCompaction, ClusterFinalizesFarPastTheTailConsistently) {
   EXPECT_TRUE(c.sim->trace().agreement_holds());
 }
 
-TEST(StorageCompaction, CatchUpOlderThanTailIsRefusedWithFrontierHint) {
+TEST(StorageCompaction, CatchUpOlderThanTailRecoversViaCheckpointTransfer) {
   // Node 3 is cut off from the start while the others finalize far past
   // their 8-block tails. Its catch-up request targets slot 1, which every
-  // peer has compacted: the request is refused (frontier hint only, counted
-  // by multishot.sync.refused) and the straggler cannot adopt -- bounded
-  // storage wins over unbounded catch-up, and recovering a node that lagged
-  // past every tail takes checkpoint state transfer (documented follow-on).
+  // peer has compacted: range-sync is refused (frontier hint, counted by
+  // multishot.sync.refused), and the refusal pivots the straggler straight
+  // into checkpoint state transfer -- f+1 vouched checkpoint identities,
+  // chunked commit-state download, install, then ordinary range-sync closes
+  // the remaining gap up to the live frontier.
   MsClusterOptions opts = small_tail_opts(8, 60);
   opts.gst = 3600 * sim::kSecond;  // the adversary below decides every delivery
   auto cut_off = std::make_shared<bool>(true);
@@ -225,14 +226,21 @@ TEST(StorageCompaction, CatchUpOlderThanTailIsRefusedWithFrontierHint) {
     return true;
   };
   ASSERT_TRUE(c.sim->run_until_pred(others_done, 200 * c.timeout()));
+  ASSERT_LT(c.nodes[3]->finalized_count() + 8, c.nodes[0]->finalized_count());
 
-  // Heal the partition: the straggler's requests now flow, but the blocks
-  // it needs are compacted everywhere.
+  // Heal the partition. The blocks the straggler asks for are compacted
+  // everywhere, so recovery must go through the checkpoint path.
   *cut_off = false;
-  c.sim->run_until(c.sim->now() + 30 * c.timeout());
+  const auto straggler_caught_up = [&] {
+    return c.nodes[3]->finalized_count() + 8 >= c.nodes[0]->finalized_count();
+  };
+  ASSERT_TRUE(c.sim->run_until_pred(straggler_caught_up, 200 * c.timeout()));
   EXPECT_GT(c.sim->metrics().counter("multishot.sync.refused").value(), 0u);
-  // The straggler learned the frontier but could not adopt slot 1 content.
-  EXPECT_LT(c.nodes[3]->finalized_count() + 8, c.nodes[0]->finalized_count());
+  EXPECT_GE(c.sim->metrics().counter("multishot.ckpt.requests").value(), 1u);
+  EXPECT_GE(c.sim->metrics().counter("multishot.ckpt.installed").value(), 1u);
+  // The adopted checkpoint carries the commit history: the straggler now
+  // holds a compacted prefix consistent with everyone else's.
+  EXPECT_GT(c.nodes[3]->chain().checkpoint().slot, 8u);
   EXPECT_TRUE(c.chains_consistent());
 }
 

@@ -99,14 +99,29 @@ TEST(MsMessages, SyncRequestRoundtripAndBounds) {
 TEST(MsMessages, SyncChunkRoundtrip) {
   MsSyncChunk m;
   m.frontier = 9;
+  m.tail_first = 2;
   m.start = 3;
   m.blocks.push_back(sample_block(3));
   m.blocks.push_back(sample_block(4));
   EXPECT_EQ(roundtrip(m), m);
-  // Frontier-only refusal chunk (no blocks) is well-formed.
+  // Frontier-only refusal chunk (no blocks) is well-formed: it advertises
+  // the responder's servable range [tail_first, frontier).
   MsSyncChunk hint;
   hint.frontier = 9;
+  hint.tail_first = 5;
   EXPECT_EQ(roundtrip(hint), hint);
+}
+
+TEST(MsMessages, SyncChunkBadTailFirstRejected) {
+  // tail_first must be a valid slot no later than the frontier.
+  MsSyncChunk m;
+  m.frontier = 9;
+  m.tail_first = 10;  // claims a tail starting past its own frontier
+  auto bytes = encode_ms(MsMessage{m});
+  EXPECT_FALSE(decode_ms(bytes).has_value());
+  m.tail_first = 0;  // slots start at 1
+  bytes = encode_ms(MsMessage{m});
+  EXPECT_FALSE(decode_ms(bytes).has_value());
 }
 
 TEST(MsMessages, SyncChunkNonConsecutiveSlotsRejected) {
@@ -123,9 +138,79 @@ TEST(MsMessages, SyncChunkBlockCapEnforced) {
   serde::Writer w;
   w.u8(static_cast<std::uint8_t>(MsType::SyncChunk));
   w.u64(9);  // frontier
+  w.u64(1);  // tail_first
   w.u64(1);  // start
   w.varint(MsSyncChunk::kMaxBlocksPerChunk + 1);
   EXPECT_FALSE(decode_ms(w.data()).has_value());
+}
+
+TEST(MsMessages, CheckpointRequestRoundtripAndBounds) {
+  const MsCheckpointRequest m{42};
+  EXPECT_EQ(roundtrip(m), m);
+  // Anchor slot 0 is below genesis.
+  const auto bytes = encode_ms(MsMessage{MsCheckpointRequest{0}});
+  EXPECT_FALSE(decode_ms(bytes).has_value());
+}
+
+MsCheckpointChunk sample_ckpt_chunk() {
+  MsCheckpointChunk m;
+  m.cp.slot = 40;
+  m.cp.chain_hash = 0xC0FFEE;
+  m.cp.tx_count = 123;
+  m.cp.boundary_hash = 0xB0A7;
+  m.state_hash = 0x5AFE;
+  m.state_size = 8;
+  m.offset = 4;
+  m.data = {1, 2, 3, 4};
+  return m;
+}
+
+TEST(MsMessages, CheckpointChunkRoundtrip) {
+  const MsCheckpointChunk m = sample_ckpt_chunk();
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(MsMessages, CheckpointChunkBoundsEnforced) {
+  // Each mutation makes the chunk internally inconsistent or oversized;
+  // decode must refuse all of them before any state transfer bookkeeping.
+  const MsCheckpointChunk good = sample_ckpt_chunk();
+  auto reject = [](MsCheckpointChunk bad) {
+    const auto bytes = encode_ms(MsMessage{bad});
+    EXPECT_FALSE(decode_ms(bytes).has_value());
+  };
+  {
+    MsCheckpointChunk m = good;
+    m.cp.slot = 0;  // checkpoints cover finalized slots >= 1
+    reject(m);
+  }
+  {
+    MsCheckpointChunk m = good;
+    m.data.clear();  // chunks always carry bytes
+    reject(m);
+  }
+  {
+    MsCheckpointChunk m = good;
+    m.offset = m.state_size;  // data would land past the end of the blob
+    reject(m);
+  }
+  {
+    MsCheckpointChunk m = good;
+    m.state_size = 2;  // data longer than the whole claimed blob
+    reject(m);
+  }
+  {
+    MsCheckpointChunk m = good;
+    m.state_size = MsCheckpointChunk::kMaxStateBytes + 1;  // DoS-sized claim
+    m.offset = 0;
+    reject(m);
+  }
+  {
+    MsCheckpointChunk m = good;
+    m.data.assign(MsCheckpointChunk::kMaxChunkBytes + 1, 0x55);
+    m.state_size = m.data.size() + 1;
+    m.offset = 0;  // over the per-chunk byte cap
+    reject(m);
+  }
 }
 
 TEST(MsMessages, ForwardTxRoundtripAndEmptyRejected) {
