@@ -1,0 +1,250 @@
+// Socket transport bench: wall-clock commit latency and throughput of a
+// TetraBFT cluster whose every message crosses a real TCP socket on
+// loopback (ClusterBuilder::build_socket -- n SocketHosts, 2n threads, the
+// frame codec in the hot path). This is the first number in the repo that
+// includes a real network stack: syscalls, kernel buffers, TCP_NODELAY
+// wakeups -- everything except propagation delay.
+//
+// Load model: closed-loop client submitting `--txs` transactions round-robin
+// with at most `--outstanding` uncommitted at once (stays under the mempool
+// bound by construction). Latency is submit -> first commit observation on
+// any replica's stream; throughput is committed tx over the load window.
+//
+// Exit code gates (the accounting contract over a real transport):
+//  - every submitted transaction commits on EVERY replica exactly once
+//    (no loss, no duplicates, no foreign bytes);
+//  - the finalized chains of all replicas are prefix-consistent;
+//  - p99 commit latency is finite (nonzero commits observed);
+//  - no outbound payload was dropped at a full queue.
+//
+// Run: bench_socket [--seed S] [--n N] [--txs T] [--tx-bytes B]
+//                   [--outstanding K] [--batch-txs X] [--batch-bytes Y]
+// Emits BENCH_socket.json for trajectory tracking.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_cli.hpp"
+#include "bench_json.hpp"
+#include "tetrabft.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tbft;
+  using Clock = std::chrono::steady_clock;
+
+  std::uint64_t seed = 1;
+  std::uint32_t n = 4;
+  std::uint32_t txs = 2000;
+  std::uint32_t tx_payload = 64;
+  std::uint32_t outstanding = 512;
+  std::uint32_t batch_txs = 64;
+  std::uint32_t batch_bytes = 8192;
+
+  bench::Cli cli("bench_socket");
+  cli.flag("seed", &seed, "deterministic run seed");
+  cli.flag("n", &n, "cluster size (f = (n-1)/3)");
+  cli.flag("txs", &txs, "total transactions submitted");
+  cli.flag("tx-bytes", &tx_payload, "encoded transaction size");
+  cli.flag("outstanding", &outstanding, "closed-loop in-flight cap");
+  cli.flag("batch-txs", &batch_txs, "leader batch transaction cap");
+  cli.flag("batch-bytes", &batch_bytes, "leader batch byte budget");
+  if (!cli.parse(argc, argv)) return 2;
+  if (tx_payload < 8) tx_payload = 8;
+
+  ClusterBuilder b;
+  b.nodes(n)
+      .seed(seed)
+      .delta_bound(1 * runtime::kSecond)  // loopback: never view-change
+      .batching(batch_txs, batch_bytes)
+      .mempool(std::max<std::size_t>(4096, 2 * outstanding),
+               multishot::MempoolPolicy::kRejectNew)
+      .forwarding(true);
+  auto cluster = b.build_socket();
+
+  const auto tx_for = [tx_payload](std::uint32_t id) {
+    std::vector<std::uint8_t> tx(tx_payload);
+    tx[0] = 'b';
+    tx[1] = 's';
+    tx[2] = static_cast<std::uint8_t>(id >> 16);
+    tx[3] = static_cast<std::uint8_t>(id >> 8);
+    tx[4] = static_cast<std::uint8_t>(id);
+    for (std::size_t k = 5; k < tx.size(); ++k) {
+      tx[k] = static_cast<std::uint8_t>(id * 31 + k);
+    }
+    return tx;
+  };
+
+  const auto epoch = Clock::now();
+  const auto now_us = [&epoch] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch)
+        .count();
+  };
+
+  // All commit accounting runs under the hub lock (callbacks are serialized).
+  std::vector<std::int64_t> submit_us(txs, -1);
+  std::vector<std::int64_t> first_commit_us(txs, -1);
+  std::vector<std::vector<std::uint32_t>> per_node_seen(
+      n, std::vector<std::uint32_t>(txs, 0));
+  std::uint64_t foreign = 0;
+  std::uint32_t fully_committed = 0;  // txs seen by ALL replicas
+  std::uint32_t first_seen = 0;       // txs seen by at least one replica
+  std::mutex done_mx;                 // cheap: only guards the two counters read outside
+
+  cluster->on_commit([&](const runtime::Commit& c) {
+    const std::int64_t at = now_us();
+    for (const auto& frame : multishot::payload_frames(c.payload)) {
+      if (frame.size() < 5 || frame[0] != 'b' || frame[1] != 's') {
+        ++foreign;
+        continue;
+      }
+      const std::uint32_t id = (static_cast<std::uint32_t>(frame[2]) << 16) |
+                               (static_cast<std::uint32_t>(frame[3]) << 8) | frame[4];
+      if (id >= txs) {
+        ++foreign;
+        continue;
+      }
+      if (++per_node_seen[c.node][id] == 1) {
+        bool everywhere = true;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          everywhere = everywhere && per_node_seen[i][id] > 0;
+        }
+        std::lock_guard<std::mutex> lk(done_mx);
+        if (first_commit_us[id] < 0) {
+          first_commit_us[id] = at;
+          ++first_seen;
+        }
+        if (everywhere) ++fully_committed;
+      }
+    }
+  });
+
+  cluster->start();
+  const std::int64_t t_start = now_us();
+
+  // Closed loop: never more than `outstanding` submitted-but-uncommitted.
+  for (std::uint32_t id = 0; id < txs; ++id) {
+    for (;;) {
+      std::uint32_t committed_now;
+      {
+        std::lock_guard<std::mutex> lk(done_mx);
+        committed_now = first_seen;
+      }
+      if (id - committed_now < outstanding) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    submit_us[id] = now_us();
+    cluster->submit(id % n, tx_for(id));
+  }
+
+  const bool all_committed = cluster->wait_for(
+      [&] { return fully_committed >= txs; }, 120 * runtime::kSecond);
+  const std::int64_t t_end = now_us();
+  cluster->stop();
+
+  // --- gates ----------------------------------------------------------------
+  bool exactly_once = all_committed && foreign == 0;
+  for (std::uint32_t i = 0; i < n && exactly_once; ++i) {
+    for (std::uint32_t id = 0; id < txs; ++id) {
+      if (per_node_seen[i][id] != 1) {
+        std::printf("GATE: tx %u seen %u times on node %u\n", id,
+                    per_node_seen[i][id], i);
+        exactly_once = false;
+        break;
+      }
+    }
+  }
+  std::vector<multishot::MultishotNode*> replicas;
+  for (NodeId i = 0; i < n; ++i) replicas.push_back(&cluster->replica(i));
+  const bool consistent = multishot::chains_prefix_consistent(replicas);
+
+  std::vector<double> lat_us;
+  lat_us.reserve(txs);
+  for (std::uint32_t id = 0; id < txs; ++id) {
+    if (submit_us[id] >= 0 && first_commit_us[id] >= submit_us[id]) {
+      lat_us.push_back(static_cast<double>(first_commit_us[id] - submit_us[id]));
+    }
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  const auto pct = [&lat_us](double p) {
+    if (lat_us.empty()) return std::numeric_limits<double>::quiet_NaN();
+    const std::size_t idx = static_cast<std::size_t>(p * (lat_us.size() - 1));
+    return lat_us[idx];
+  };
+  const double p50 = pct(0.50);
+  const double p99 = pct(0.99);
+  double mean = 0;
+  for (const double v : lat_us) mean += v;
+  mean = lat_us.empty() ? std::numeric_limits<double>::quiet_NaN()
+                        : mean / static_cast<double>(lat_us.size());
+  const double secs = static_cast<double>(t_end - t_start) / 1e6;
+  const double tx_per_sec = secs > 0 ? static_cast<double>(txs) / secs : 0.0;
+  const bool p99_finite = std::isfinite(p99);
+
+  std::uint64_t frames_tx = 0, frames_rx = 0, bytes_tx = 0, bytes_rx = 0,
+                handshakes = 0, q_dropped = 0, redials = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    const runtime::NetStats& s = cluster->host(i).net_stats();
+    frames_tx += s.frames_tx.load();
+    frames_rx += s.frames_rx.load();
+    bytes_tx += s.bytes_tx.load();
+    bytes_rx += s.bytes_rx.load();
+    handshakes += s.handshakes.load();
+    q_dropped += s.queue_dropped.load();
+    redials += s.dials.load();
+  }
+  const bool nothing_dropped = q_dropped == 0;
+  const bool ok = exactly_once && consistent && p99_finite && nothing_dropped;
+
+  std::printf(
+      "socket bench: n=%u txs=%u x %uB, batch <= %u/%uB, outstanding <= %u\n"
+      "  committed %u/%u txs in %.3fs  ->  %.0f tx/s over loopback TCP\n"
+      "  submit->commit latency: p50 %.0fus  p99 %.0fus  mean %.0fus\n"
+      "  wire: %llu frames / %.1f MiB sent, %llu frames / %.1f MiB received, "
+      "%llu handshakes, %llu queue-dropped\n"
+      "  gates: exactly-once %s, chains consistent %s, p99 finite %s, "
+      "no drops %s\n",
+      n, txs, tx_payload, batch_txs, batch_bytes, outstanding, fully_committed, txs,
+      secs, tx_per_sec, p50, p99, mean, static_cast<unsigned long long>(frames_tx),
+      static_cast<double>(bytes_tx) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(frames_rx),
+      static_cast<double>(bytes_rx) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(handshakes),
+      static_cast<unsigned long long>(q_dropped), exactly_once ? "yes" : "NO",
+      consistent ? "yes" : "NO", p99_finite ? "yes" : "NO",
+      nothing_dropped ? "yes" : "NO");
+
+  bench::JsonReport report("socket");
+  report.field("n", n)
+      .field("txs", txs)
+      .field("tx_bytes", tx_payload)
+      .field("batch_txs", batch_txs)
+      .field("batch_bytes", batch_bytes)
+      .field("outstanding", outstanding)
+      .field("duration_s", secs)
+      .field("tx_per_sec", tx_per_sec)
+      .field("commit_latency_p50_us", p50)
+      .field("commit_latency_p99_us", p99)
+      .field("commit_latency_mean_us", mean)
+      .field("wire_frames_tx", frames_tx)
+      .field("wire_frames_rx", frames_rx)
+      .field("wire_bytes_tx", bytes_tx)
+      .field("wire_bytes_rx", bytes_rx)
+      .field("handshakes", handshakes)
+      .field("queue_dropped", q_dropped)
+      .field("dials", redials)
+      .field("exactly_once", exactly_once ? "yes" : "no")
+      .field("chains_consistent", consistent ? "yes" : "no");
+  report.write();
+
+  if (!ok) {
+    std::printf("socket bench: GATE FAILURE\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tbft::net {
+
+namespace {
+
+bool to_sockaddr(const Endpoint& ep, sockaddr_in& out, std::string& err) {
+  std::memset(&out, 0, sizeof out);
+  out.sin_family = AF_INET;
+  out.sin_port = htons(ep.port);
+  if (inet_pton(AF_INET, ep.host.c_str(), &out.sin_addr) != 1) {
+    err = "invalid IPv4 address '" + ep.host + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_nodelay(int fd) noexcept {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) == 0;
+}
+
+Fd tcp_listen(const Endpoint& ep, int backlog, std::string& err) {
+  sockaddr_in addr{};
+  if (!to_sockaddr(ep, addr, err)) return Fd{};
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    err = std::string("socket: ") + std::strerror(errno);
+    return Fd{};
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    err = "bind " + ep.host + ":" + std::to_string(ep.port) + ": " + std::strerror(errno);
+    return Fd{};
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    err = std::string("listen: ") + std::strerror(errno);
+    return Fd{};
+  }
+  if (!set_nonblocking(fd.get())) {
+    err = std::string("fcntl O_NONBLOCK: ") + std::strerror(errno);
+    return Fd{};
+  }
+  return fd;
+}
+
+Fd tcp_dial(const Endpoint& ep, bool& in_progress, std::string& err) {
+  in_progress = false;
+  sockaddr_in addr{};
+  if (!to_sockaddr(ep, addr, err)) return Fd{};
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    err = std::string("socket: ") + std::strerror(errno);
+    return Fd{};
+  }
+  if (!set_nonblocking(fd.get())) {
+    err = std::string("fcntl O_NONBLOCK: ") + std::strerror(errno);
+    return Fd{};
+  }
+  set_nodelay(fd.get());
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
+    return fd;  // connected immediately (loopback fast path)
+  }
+  if (errno == EINPROGRESS) {
+    in_progress = true;
+    return fd;
+  }
+  err = "connect " + ep.host + ":" + std::to_string(ep.port) + ": " + std::strerror(errno);
+  return Fd{};
+}
+
+int dial_error(int fd) noexcept {
+  int so_error = 0;
+  socklen_t len = sizeof so_error;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) return errno;
+  return so_error;
+}
+
+Fd tcp_accept(int listen_fd) noexcept {
+  Fd fd(::accept(listen_fd, nullptr, nullptr));
+  if (fd.valid()) {
+    set_nonblocking(fd.get());
+    set_nodelay(fd.get());
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) noexcept {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return 0;
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace tbft::net

@@ -1,0 +1,75 @@
+#pragma once
+// Thin POSIX TCP helpers for the socket transport (runtime/socket_host.hpp):
+// an RAII file descriptor plus the handful of operations the connection
+// manager needs -- non-blocking listen, non-blocking dial, TCP_NODELAY, and
+// local-port discovery (ephemeral binds advertise their real port).
+//
+// IPv4 only for now: cluster configs name peers as dotted-quad + port, which
+// covers loopback benches, LAN clusters and CI. Nothing here knows about
+// frames or the runtime API; this is the lowest layer of src/net/.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace tbft::net {
+
+/// A peer address in the static cluster config. Port 0 on a listen endpoint
+/// means "bind an ephemeral port" (the bound port is then discoverable via
+/// local_port and must be distributed to peers before they dial).
+struct Endpoint {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{0};
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Move-only RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  ~Fd() { reset(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void reset() noexcept;
+
+ private:
+  int fd_{-1};
+};
+
+bool set_nonblocking(int fd) noexcept;
+bool set_nodelay(int fd) noexcept;
+
+/// Bind + listen on `ep`, non-blocking, SO_REUSEADDR. Invalid Fd (and a
+/// message in `err`) on failure. Port 0 binds an ephemeral port.
+Fd tcp_listen(const Endpoint& ep, int backlog, std::string& err);
+
+/// Start a non-blocking connect to `ep`. On return the socket is either
+/// connected already (`in_progress` false) or awaiting writability
+/// (`in_progress` true; completion is checked with dial_error once the fd
+/// polls writable). Invalid Fd on immediate failure.
+Fd tcp_dial(const Endpoint& ep, bool& in_progress, std::string& err);
+
+/// SO_ERROR of a completing non-blocking connect (0 = connected).
+int dial_error(int fd) noexcept;
+
+/// Accept one pending connection (non-blocking); invalid Fd when none.
+Fd tcp_accept(int listen_fd) noexcept;
+
+/// The locally bound port of a socket (resolves ephemeral binds); 0 on error.
+std::uint16_t local_port(int fd) noexcept;
+
+}  // namespace tbft::net

@@ -6,6 +6,22 @@
 
 namespace tbft {
 
+// ---- detail::CommitHub -----------------------------------------------------
+
+void detail::CommitHub::on_commit(const runtime::Commit& commit) {
+  {
+    std::lock_guard<std::mutex> lk(mx);
+    for (const auto& cb : callbacks) cb(commit);
+  }
+  cv.notify_all();
+}
+
+bool detail::CommitHub::wait_for(const std::function<bool()>& pred,
+                                 runtime::Duration timeout) {
+  std::unique_lock<std::mutex> lk(mx);
+  return cv.wait_for(lk, std::chrono::microseconds(timeout), [&] { return pred(); });
+}
+
 // ---- NodeHandle ------------------------------------------------------------
 
 void NodeHandle::submit(std::vector<std::uint8_t> tx) {
@@ -53,8 +69,7 @@ void Cluster::stop() {
 }
 
 bool Cluster::wait_for(const std::function<bool()>& pred, runtime::Duration timeout) {
-  std::unique_lock<std::mutex> lk(hub_.mx);
-  return hub_.cv.wait_for(lk, std::chrono::microseconds(timeout), [&] { return pred(); });
+  return hub_.wait_for(pred, timeout);
 }
 
 multishot::MultishotNode& Cluster::replica(NodeId id) {
@@ -64,14 +79,6 @@ multishot::MultishotNode& Cluster::replica(NodeId id) {
         "stop() first or use post()/submit()");
   }
   return *replicas_.at(id);
-}
-
-void Cluster::Hub::on_commit(const runtime::Commit& commit) {
-  {
-    std::lock_guard<std::mutex> lk(mx);
-    for (const CommitCallback& cb : callbacks) cb(commit);
-  }
-  cv.notify_all();
 }
 
 // ---- SimCluster ------------------------------------------------------------
@@ -85,6 +92,90 @@ bool SimCluster::run_until_all_finalized(Slot target, runtime::Duration deadline
         return true;
       },
       deadline);
+}
+
+// ---- SocketCluster ---------------------------------------------------------
+
+SocketCluster::~SocketCluster() { stop(); }
+
+void SocketCluster::on_commit(CommitCallback cb) {
+  if (running_) throw std::logic_error("SocketCluster::on_commit: subscribe before start()");
+  hub_.callbacks.push_back(std::move(cb));
+}
+
+void SocketCluster::start() {
+  for (auto& host : hosts_) host->start();
+  running_ = true;
+}
+
+void SocketCluster::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (auto& host : hosts_) host->stop();
+  for (auto& durable : durables_) durable->flush();
+}
+
+bool SocketCluster::wait_for(const std::function<bool()>& pred,
+                             runtime::Duration timeout) {
+  return hub_.wait_for(pred, timeout);
+}
+
+void SocketCluster::submit(NodeId id, std::vector<std::uint8_t> tx) {
+  multishot::MultishotNode* replica = replicas_.at(id);
+  hosts_.at(id)->post([replica, tx = std::move(tx)]() mutable {
+    replica->submit_tx(std::move(tx));
+  });
+}
+
+multishot::MultishotNode& SocketCluster::replica(NodeId id) {
+  if (running_) {
+    throw std::logic_error(
+        "SocketCluster::replica: direct access while running races the node "
+        "thread; stop() first or use submit()");
+  }
+  return *replicas_.at(id);
+}
+
+// ---- SocketNode ------------------------------------------------------------
+
+SocketNode::~SocketNode() { stop(); }
+
+void SocketNode::on_commit(CommitCallback cb) {
+  if (running_) throw std::logic_error("SocketNode::on_commit: subscribe before start()");
+  hub_.callbacks.push_back(std::move(cb));
+}
+
+void SocketNode::start() {
+  host_->start();
+  running_ = true;
+}
+
+void SocketNode::stop() {
+  if (!running_) return;
+  running_ = false;
+  host_->stop();
+  if (durable_) durable_->flush();
+}
+
+bool SocketNode::wait_for(const std::function<bool()>& pred,
+                          runtime::Duration timeout) {
+  return hub_.wait_for(pred, timeout);
+}
+
+void SocketNode::submit(std::vector<std::uint8_t> tx) {
+  multishot::MultishotNode* replica = replica_;
+  host_->post([replica, tx = std::move(tx)]() mutable {
+    replica->submit_tx(std::move(tx));
+  });
+}
+
+multishot::MultishotNode& SocketNode::replica() {
+  if (running_) {
+    throw std::logic_error(
+        "SocketNode::replica: direct access while running races the node "
+        "thread; stop() first or use submit()");
+  }
+  return *replica_;
 }
 
 // ---- ClusterBuilder --------------------------------------------------------
@@ -176,6 +267,42 @@ ClusterBuilder& ClusterBuilder::wal_segment_bytes(std::size_t bytes) {
   return *this;
 }
 
+ClusterBuilder& ClusterBuilder::socket_backoff(runtime::Duration base,
+                                               runtime::Duration cap) {
+  if (base <= 0 || cap < base) {
+    throw std::invalid_argument("ClusterBuilder: socket_backoff needs 0 < base <= cap");
+  }
+  socket_backoff_base_ = base;
+  socket_backoff_cap_ = cap;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::socket_liveness(runtime::Duration ping_after,
+                                                runtime::Duration drop_after) {
+  if (ping_after <= 0 || drop_after <= ping_after) {
+    throw std::invalid_argument(
+        "ClusterBuilder: socket_liveness needs 0 < ping_after < drop_after");
+  }
+  socket_ping_after_ = ping_after;
+  socket_drop_after_ = drop_after;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::socket_queue(std::size_t max_payloads) {
+  if (max_payloads == 0) {
+    throw std::invalid_argument("ClusterBuilder: socket_queue must be > 0");
+  }
+  socket_queue_ = max_payloads;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::socket_max_frame(std::size_t bytes) {
+  if (bytes < 4096) {
+    throw std::invalid_argument(
+        "ClusterBuilder: socket_max_frame below 4096 bytes cannot carry even a "
+        "small block");
+  }
+  socket_max_frame_ = bytes;
+  return *this;
+}
+
 multishot::MultishotConfig ClusterBuilder::node_config() const {
   const std::uint32_t f = f_.has_value() ? *f_ : (n_ > 0 ? (n_ - 1) / 3 : 0);
   // QuorumParams validates n > 3f (and n > 0) with a descriptive throw.
@@ -237,6 +364,74 @@ std::unique_ptr<Cluster> ClusterBuilder::build_local() const {
     }
   }
   return cluster;
+}
+
+runtime::SocketHostConfig ClusterBuilder::socket_host_config(
+    NodeId id, net::Endpoint listen) const {
+  if (socket_max_frame_ < max_batch_bytes_ + 4096) {
+    throw std::logic_error(
+        "ClusterBuilder: socket_max_frame(" + std::to_string(socket_max_frame_) +
+        ") leaves no headroom over max_batch_bytes(" +
+        std::to_string(max_batch_bytes_) +
+        "); a full proposal would be dropped as oversize -- raise socket_max_frame");
+  }
+  runtime::SocketHostConfig hc;
+  hc.id = id;
+  hc.n = n_;
+  hc.seed = seed_;
+  hc.listen = std::move(listen);
+  hc.backoff_base = socket_backoff_base_;
+  hc.backoff_cap = socket_backoff_cap_;
+  hc.ping_after = socket_ping_after_;
+  hc.drop_after = socket_drop_after_;
+  hc.max_queue = socket_queue_;
+  hc.max_frame_bytes = socket_max_frame_;
+  return hc;
+}
+
+std::unique_ptr<SocketCluster> ClusterBuilder::build_socket() const {
+  const multishot::MultishotConfig node_cfg = node_config();
+  auto cluster = std::unique_ptr<SocketCluster>(new SocketCluster());
+  for (std::uint32_t i = 0; i < node_cfg.n; ++i) {
+    auto node = std::make_unique<multishot::MultishotNode>(node_cfg);
+    cluster->replicas_.push_back(node.get());
+    if (!data_dir_.empty()) {
+      cluster->durables_.push_back(attach_durable(i, *node));
+    }
+    // Ephemeral listen port: the host binds at construction, so the real
+    // port is known immediately and nothing ever guesses a free one.
+    cluster->hosts_.push_back(std::make_unique<runtime::SocketHost>(
+        socket_host_config(i, net::Endpoint{"127.0.0.1", 0}), std::move(node)));
+  }
+  for (std::uint32_t i = 0; i < node_cfg.n; ++i) {
+    cluster->hosts_[i]->add_commit_sink(cluster->hub_);
+    for (std::uint32_t j = 0; j < node_cfg.n; ++j) {
+      if (j == i) continue;
+      cluster->hosts_[i]->set_peer_endpoint(
+          j, net::Endpoint{"127.0.0.1", cluster->hosts_[j]->port()});
+    }
+  }
+  return cluster;
+}
+
+std::unique_ptr<SocketNode> ClusterBuilder::build_socket_node(
+    NodeId id, net::Endpoint listen) const {
+  const multishot::MultishotConfig node_cfg = node_config();
+  if (id >= node_cfg.n) {
+    throw std::invalid_argument("ClusterBuilder: build_socket_node id " +
+                                std::to_string(id) + " out of range for n=" +
+                                std::to_string(node_cfg.n));
+  }
+  auto sn = std::unique_ptr<SocketNode>(new SocketNode());
+  auto node = std::make_unique<multishot::MultishotNode>(node_cfg);
+  sn->replica_ = node.get();
+  if (!data_dir_.empty()) {
+    sn->durable_ = attach_durable(id, *node);
+  }
+  sn->host_ = std::make_unique<runtime::SocketHost>(
+      socket_host_config(id, std::move(listen)), std::move(node));
+  sn->host_->add_commit_sink(sn->hub_);
+  return sn;
 }
 
 std::unique_ptr<SimCluster> ClusterBuilder::build_sim() const {

@@ -7,77 +7,6 @@
 
 namespace tbft::runtime {
 
-namespace {
-constexpr TimerId make_timer_id(std::uint32_t slot, std::uint32_t gen) noexcept {
-  return (static_cast<TimerId>(gen) << 32) | (slot + 1);
-}
-constexpr std::uint32_t timer_slot_of(TimerId id) noexcept {
-  return static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1;
-}
-constexpr std::uint32_t timer_gen_of(TimerId id) noexcept {
-  return static_cast<std::uint32_t>(id >> 32);
-}
-}  // namespace
-
-// ---- TimerWheel ------------------------------------------------------------
-
-bool LocalRunner::TimerWheel::live(TimerId id) const noexcept {
-  const std::uint32_t slot = timer_slot_of(id);
-  return slot < slots.size() && slots[slot].armed &&
-         slots[slot].generation == timer_gen_of(id);
-}
-
-TimerId LocalRunner::TimerWheel::arm(Time at) {
-  std::uint32_t slot;
-  if (!free_slots.empty()) {
-    slot = free_slots.back();
-    free_slots.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(slots.size());
-    slots.push_back(Slot{});
-  }
-  Slot& s = slots[slot];
-  s.armed = true;
-  const TimerId id = make_timer_id(slot, s.generation);
-  heap.push_back(Entry{at, id});
-  std::push_heap(heap.begin(), heap.end(), later);
-  return id;
-}
-
-void LocalRunner::TimerWheel::cancel(TimerId id) {
-  if (id == 0 || !live(id)) return;
-  const std::uint32_t slot = timer_slot_of(id);
-  slots[slot].armed = false;
-  ++slots[slot].generation;  // invalidate the heap entry; filtered on pop
-  free_slots.push_back(slot);
-}
-
-Time LocalRunner::TimerWheel::next_deadline() {
-  while (!heap.empty()) {
-    if (live(heap.front().id)) return heap.front().at;
-    pop_heap_root();  // stale (cancelled) entry
-  }
-  return kNever;
-}
-
-void LocalRunner::TimerWheel::pop_due(Time now, std::vector<TimerId>& fired) {
-  while (!heap.empty() && heap.front().at <= now) {
-    const TimerId id = heap.front().id;
-    pop_heap_root();
-    if (!live(id)) continue;
-    const std::uint32_t slot = timer_slot_of(id);
-    slots[slot].armed = false;
-    ++slots[slot].generation;
-    free_slots.push_back(slot);
-    fired.push_back(id);
-  }
-}
-
-void LocalRunner::TimerWheel::pop_heap_root() {
-  std::pop_heap(heap.begin(), heap.end(), later);
-  heap.pop_back();
-}
-
 // ---- Context ---------------------------------------------------------------
 
 class LocalRunner::Context final : public Host {

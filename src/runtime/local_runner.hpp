@@ -43,6 +43,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "runtime/host.hpp"
+#include "runtime/timer_wheel.hpp"
 
 namespace tbft::runtime {
 
@@ -110,39 +111,6 @@ class LocalRunner {
     std::function<void()> call;       // posted functor otherwise
   };
 
-  /// Per-node timer wheel: generation-counted slots (a TimerId is
-  /// (generation << 32 | slot+1), never 0) over a flat binary min-heap of
-  /// (deadline, id). Cancelling bumps the generation; stale heap entries
-  /// are filtered when popped. Owner-thread only -- set/cancel run inside
-  /// the node's handlers, expiry runs in its loop.
-  struct TimerWheel {
-    struct Slot {
-      std::uint32_t generation{0};
-      bool armed{false};
-    };
-    struct Entry {
-      Time at{0};
-      TimerId id{0};
-    };
-    /// std::*_heap comparator for a min-heap by deadline.
-    static bool later(const Entry& a, const Entry& b) noexcept { return a.at > b.at; }
-
-    TimerId arm(Time at);
-    void cancel(TimerId id);
-    /// Earliest live deadline, kNever when none (pops stale heads).
-    [[nodiscard]] Time next_deadline();
-    /// Pop every timer due at or before `now` into `fired` (live ids only).
-    void pop_due(Time now, std::vector<TimerId>& fired);
-
-    std::vector<Slot> slots;
-    std::vector<std::uint32_t> free_slots;
-    std::vector<Entry> heap;  // std::*_heap min-heap by `at`
-
-   private:
-    [[nodiscard]] bool live(TimerId id) const noexcept;
-    void pop_heap_root();
-  };
-
   struct NodeRt {
     std::unique_ptr<ProtocolNode> node;
     std::unique_ptr<Context> ctx;
@@ -154,7 +122,9 @@ class LocalRunner {
     std::vector<InboxEntry> inbox;  // guarded by mx
     bool stopping{false};           // guarded by mx
 
-    TimerWheel timers;  // owner-thread only
+    /// Per-node timer wheel (runtime/timer_wheel.hpp): owner-thread only --
+    /// set/cancel run inside the node's handlers, expiry runs in its loop.
+    TimerWheel timers;
     std::thread thread;
 
     NodeRt() = default;

@@ -1,0 +1,111 @@
+#pragma once
+// Generation-counted one-shot timer wheel shared by the real-time hosts
+// (LocalRunner, SocketHost). A TimerId is (generation << 32 | slot+1), never
+// 0, over a flat binary min-heap of (deadline, id); cancelling bumps the
+// slot's generation, and stale heap entries are filtered when popped --
+// cancel is O(1), expiry is O(log timers), and slots recycle through a free
+// list so steady state allocates nothing.
+//
+// Threading: owner-thread only. set/cancel run inside the owning node's
+// handlers, expiry runs in its host loop; a host that delivers handlers on
+// one thread (the Host contract) therefore needs no locking around the
+// wheel.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/host.hpp"
+#include "runtime/time.hpp"
+
+namespace tbft::runtime {
+
+class TimerWheel {
+ public:
+  TimerId arm(Time at) {
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(Slot{});
+    }
+    Slot& s = slots_[slot];
+    s.armed = true;
+    const TimerId id = make_id(slot, s.generation);
+    heap_.push_back(Entry{at, id});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+    return id;
+  }
+
+  void cancel(TimerId id) {
+    if (id == 0 || !live(id)) return;
+    const std::uint32_t slot = slot_of(id);
+    slots_[slot].armed = false;
+    ++slots_[slot].generation;  // invalidate the heap entry; filtered on pop
+    free_slots_.push_back(slot);
+  }
+
+  /// Earliest live deadline, kNever when none (pops stale heads).
+  [[nodiscard]] Time next_deadline() {
+    while (!heap_.empty()) {
+      if (live(heap_.front().id)) return heap_.front().at;
+      pop_heap_root();  // stale (cancelled) entry
+    }
+    return kNever;
+  }
+
+  /// Pop every timer due at or before `now` into `fired` (live ids only).
+  void pop_due(Time now, std::vector<TimerId>& fired) {
+    while (!heap_.empty() && heap_.front().at <= now) {
+      const TimerId id = heap_.front().id;
+      pop_heap_root();
+      if (!live(id)) continue;
+      const std::uint32_t slot = slot_of(id);
+      slots_[slot].armed = false;
+      ++slots_[slot].generation;
+      free_slots_.push_back(slot);
+      fired.push_back(id);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint32_t generation{0};
+    bool armed{false};
+  };
+  struct Entry {
+    Time at{0};
+    TimerId id{0};
+  };
+  /// std::*_heap comparator for a min-heap by deadline.
+  static bool later(const Entry& a, const Entry& b) noexcept { return a.at > b.at; }
+
+  static constexpr TimerId make_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+    return (static_cast<TimerId>(gen) << 32) | (slot + 1);
+  }
+  static constexpr std::uint32_t slot_of(TimerId id) noexcept {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1;
+  }
+  static constexpr std::uint32_t gen_of(TimerId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  [[nodiscard]] bool live(TimerId id) const noexcept {
+    const std::uint32_t slot = slot_of(id);
+    return slot < slots_.size() && slots_[slot].armed &&
+           slots_[slot].generation == gen_of(id);
+  }
+
+  void pop_heap_root() {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<Entry> heap_;  // std::*_heap min-heap by `at`
+};
+
+}  // namespace tbft::runtime

@@ -12,27 +12,35 @@
 //   cluster->wait_for([&]{ return done; }, 5 * tbft::runtime::kSecond);
 //   cluster->stop();
 //
-// Two backends build from the same validated configuration:
+// Three backends build from the same validated configuration:
 //  - build_local(): a runtime::LocalRunner cluster -- wall-clock time, OS
-//    threads, the deployment-shaped path;
+//    threads, shared-memory message passing;
 //  - build_sim():   a sim::Simulation cluster -- deterministic virtual
 //    time, the verification tool of record. Client actors (workload
 //    generators) attach here; the facade adds every protocol node before
 //    any client, and the Simulation rejects out-of-order additions with a
-//    clear error instead of silently renumbering actors.
+//    clear error instead of silently renumbering actors;
+//  - build_socket(): a cluster of runtime::SocketHost nodes talking TCP
+//    over loopback -- every message crosses a real socket. For genuinely
+//    multi-process deployments, build_socket_node() builds ONE node; the
+//    caller distributes listen ports (ephemeral binds are discoverable via
+//    SocketNode::port()) and wires peers with set_peer_endpoint before
+//    start() -- see examples/socket_cluster.cpp.
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
-#include <optional>
-
 #include "multishot/node.hpp"
 #include "runtime/host.hpp"
 #include "runtime/local_runner.hpp"
+#include "runtime/socket_host.hpp"
 #include "sim/runtime.hpp"
 #include "storage/durable_chain.hpp"
 #include "workload/generator.hpp"
@@ -40,6 +48,23 @@
 namespace tbft {
 
 class Cluster;
+
+namespace detail {
+/// Single CommitSink fanning every backend's commits out to registered
+/// callbacks and waking wait_for waiters. Shared by Cluster, SocketCluster
+/// and SocketNode so the commit-observation semantics are identical across
+/// transports.
+struct CommitHub final : runtime::CommitSink {
+  void on_commit(const runtime::Commit& commit) override;
+  /// Block until `pred()` holds or `timeout` elapses; `pred` runs under the
+  /// hub lock and is re-checked after every commit.
+  bool wait_for(const std::function<bool()>& pred, runtime::Duration timeout);
+
+  std::mutex mx;
+  std::condition_variable cv;
+  std::vector<std::function<void(const runtime::Commit&)>> callbacks;
+};
+}  // namespace detail
 
 /// Non-owning handle to one replica of a local Cluster.
 class NodeHandle {
@@ -104,19 +129,10 @@ class Cluster {
   friend class NodeHandle;
   explicit Cluster(const multishot::MultishotConfig& node_cfg, std::uint64_t seed);
 
-  /// Single CommitSink fanning out to the registered callbacks and waking
-  /// wait_for waiters.
-  struct Hub final : runtime::CommitSink {
-    void on_commit(const runtime::Commit& commit) override;
-    std::mutex mx;
-    std::condition_variable cv;
-    std::vector<CommitCallback> callbacks;
-  };
-
   runtime::LocalRunner runner_;
   std::vector<multishot::MultishotNode*> replicas_;
   std::vector<std::unique_ptr<storage::DurableChain>> durables_;
-  Hub hub_;
+  detail::CommitHub hub_;
 };
 
 /// A deterministic simulated cluster built from the same configuration
@@ -172,6 +188,119 @@ class SimCluster {
   std::vector<std::unique_ptr<workload::SubmitPort>> ports_;
 };
 
+/// An in-process TetraBFT cluster whose nodes talk TCP over loopback: n
+/// runtime::SocketHost instances, each with its own node + IO thread pair,
+/// wired together on ephemeral ports at build time (race-free under CI --
+/// nothing guesses a free port). Every protocol message crosses a real
+/// socket through the length-prefixed frame codec; only the process
+/// boundary separates this from a deployed cluster, and
+/// ClusterBuilder::build_socket_node() removes that too.
+class SocketCluster {
+ public:
+  using CommitCallback = std::function<void(const runtime::Commit&)>;
+
+  ~SocketCluster();  // stops all hosts
+
+  SocketCluster(const SocketCluster&) = delete;
+  SocketCluster& operator=(const SocketCluster&) = delete;
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(hosts_.size());
+  }
+
+  /// Subscribe to every commit any node publishes. Before start() only;
+  /// callbacks run on node threads, serialized by the hub lock.
+  void on_commit(CommitCallback cb);
+
+  void start();
+  /// Stop all hosts (node + IO threads). Idempotent; afterwards replica()
+  /// inspection is safe from the caller's thread.
+  void stop();
+
+  /// Block until `pred()` holds or `timeout` elapses (re-checked on every
+  /// commit, under the hub lock).
+  bool wait_for(const std::function<bool()>& pred, runtime::Duration timeout);
+
+  /// Submit a transaction to replica `id`'s mempool on its own thread;
+  /// before start() it applies immediately (initial-state seeding).
+  void submit(NodeId id, std::vector<std::uint8_t> tx);
+
+  /// Direct replica access: only safe while the cluster is not running.
+  [[nodiscard]] multishot::MultishotNode& replica(NodeId id);
+
+  [[nodiscard]] runtime::SocketHost& host(NodeId id) { return *hosts_.at(id); }
+
+  /// Replica `id`'s durability driver, or nullptr without data_dir.
+  [[nodiscard]] storage::DurableChain* durable(NodeId id) {
+    return id < durables_.size() ? durables_[id].get() : nullptr;
+  }
+
+ private:
+  friend class ClusterBuilder;
+  SocketCluster() = default;
+
+  std::vector<std::unique_ptr<runtime::SocketHost>> hosts_;
+  std::vector<multishot::MultishotNode*> replicas_;
+  std::vector<std::unique_ptr<storage::DurableChain>> durables_;
+  detail::CommitHub hub_;
+  bool running_{false};
+};
+
+/// ONE node of a multi-process TetraBFT cluster (runtime::SocketHost
+/// backend). The process that owns it must distribute listen addresses out
+/// of band -- bind an ephemeral port, read it back with port(), exchange,
+/// then set_peer_endpoint for every peer before start(). The commit
+/// callbacks observe only this node's finalizations; cross-node agreement
+/// is checked by comparing chains (examples/socket_cluster.cpp).
+class SocketNode {
+ public:
+  using CommitCallback = std::function<void(const runtime::Commit&)>;
+
+  ~SocketNode();  // stops the host
+
+  SocketNode(const SocketNode&) = delete;
+  SocketNode& operator=(const SocketNode&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return host_->id(); }
+  /// The actually bound listen port (resolves ephemeral binds).
+  [[nodiscard]] std::uint16_t port() const noexcept { return host_->port(); }
+
+  /// Where peer `peer` listens. Before start() only.
+  void set_peer_endpoint(NodeId peer, net::Endpoint ep) {
+    host_->set_peer_endpoint(peer, std::move(ep));
+  }
+
+  /// Subscribe to this node's commits. Before start() only.
+  void on_commit(CommitCallback cb);
+
+  void start();
+  void stop();  // idempotent; flushes durable state
+
+  bool wait_for(const std::function<bool()>& pred, runtime::Duration timeout);
+
+  /// Submit a transaction to this replica's mempool on its own thread;
+  /// before start() it applies immediately.
+  void submit(std::vector<std::uint8_t> tx);
+
+  /// Direct replica access: only safe while the node is not running.
+  [[nodiscard]] multishot::MultishotNode& replica();
+
+  [[nodiscard]] runtime::SocketHost& host() noexcept { return *host_; }
+
+  /// This replica's durability driver, or nullptr without data_dir.
+  [[nodiscard]] storage::DurableChain* durable() { return durable_.get(); }
+
+ private:
+  friend class ClusterBuilder;
+  SocketNode() = default;
+
+  std::unique_ptr<runtime::SocketHost> host_;
+  multishot::MultishotNode* replica_{nullptr};
+  std::unique_ptr<storage::DurableChain> durable_;
+  detail::CommitHub hub_;
+  bool running_{false};
+};
+
 /// Configures a TetraBFT cluster: membership (n/f), timing, leader
 /// batching, mempool bounds, finalized-storage tail. Validates eagerly --
 /// misconfiguration throws std::invalid_argument/std::logic_error with an
@@ -224,11 +353,34 @@ class ClusterBuilder {
   /// fewer files).
   ClusterBuilder& wal_segment_bytes(std::size_t bytes);
 
-  /// The validated MultishotConfig both backends build from.
+  /// Socket transport: redial backoff after a lost connection (first delay,
+  /// exponential, saturating at `cap`).
+  ClusterBuilder& socket_backoff(runtime::Duration base, runtime::Duration cap);
+  /// Socket transport: send a ping after `ping_after` of rx silence; drop a
+  /// connection silent for `drop_after` (half-open detection).
+  ClusterBuilder& socket_liveness(runtime::Duration ping_after,
+                                  runtime::Duration drop_after);
+  /// Socket transport: outbound payloads buffered per peer before newest
+  /// are dropped (and counted) -- a dead peer must not grow memory.
+  ClusterBuilder& socket_queue(std::size_t max_payloads);
+  /// Socket transport: largest accepted rx frame payload. Must exceed the
+  /// largest encoded protocol message (batches, range-sync replies).
+  ClusterBuilder& socket_max_frame(std::size_t bytes);
+
+  /// The validated MultishotConfig every backend builds from.
   [[nodiscard]] multishot::MultishotConfig node_config() const;
 
   [[nodiscard]] std::unique_ptr<Cluster> build_local() const;
   [[nodiscard]] std::unique_ptr<SimCluster> build_sim() const;
+  /// An in-process loopback-TCP cluster: n SocketHosts on ephemeral ports,
+  /// fully wired and ready to start().
+  [[nodiscard]] std::unique_ptr<SocketCluster> build_socket() const;
+  /// One node of a multi-process cluster, listening on `listen` (port 0 =
+  /// ephemeral; read it back with SocketNode::port()). Peer endpoints must
+  /// be wired with set_peer_endpoint before start(). With data_dir, this
+  /// node recovers from and persists to `<data_dir>/node-<id>`.
+  [[nodiscard]] std::unique_ptr<SocketNode> build_socket_node(
+      NodeId id, net::Endpoint listen = {}) const;
 
  private:
   std::uint32_t n_{4};
@@ -249,6 +401,16 @@ class ClusterBuilder {
   Slot checkpoint_every_{1024};
   std::uint32_t wal_flush_every_{64};
   std::size_t wal_segment_bytes_{storage::DurableOptions{}.segment_bytes};
+  runtime::Duration socket_backoff_base_{10 * runtime::kMillisecond};
+  runtime::Duration socket_backoff_cap_{1 * runtime::kSecond};
+  runtime::Duration socket_ping_after_{500 * runtime::kMillisecond};
+  runtime::Duration socket_drop_after_{2 * runtime::kSecond};
+  std::size_t socket_queue_{4096};
+  std::size_t socket_max_frame_{1u << 20};
+
+  /// The validated SocketHostConfig for node `id` (peers unwired).
+  [[nodiscard]] runtime::SocketHostConfig socket_host_config(
+      NodeId id, net::Endpoint listen) const;
 
   /// Build one replica's DurableChain under data_dir_, recover its durable
   /// state into `replica`, and attach the write path.
