@@ -1,0 +1,106 @@
+// Chaos fuzz driver: replay one seed or sweep a batch.
+//
+//   ./build/fuzz_driver --seed=N            replay one scenario, verbose
+//   ./build/fuzz_driver --first=A --count=K sweep seeds [A, A+K)
+//   ./build/fuzz_driver --count=K           sweep [1, 1+K) (default K=50)
+//
+// Extra flags:
+//   --scratch=DIR     durable-chain scratch root (default: fuzz-scratch)
+//   --keep            keep work dirs of failing seeds for inspection
+//   --fail-file=PATH  append one "fuzz_driver --seed=N" line per failure
+//   --quiet           batch mode: only print failures and the summary
+//
+// Every failure prints a one-line reproducer; exit code is the number of
+// failing seeds (capped at 125).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaos/fuzzer.hpp"
+
+using namespace tbft;
+
+namespace {
+
+bool parse_u64(const char* arg, const char* name, std::uint64_t& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  out = std::strtoull(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+bool parse_str(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  out = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 0;
+  bool have_seed = false;
+  std::uint64_t first = 1;
+  std::uint64_t count = 50;
+  std::string scratch = "fuzz-scratch";
+  std::string fail_file;
+  bool keep = false;
+  bool verbose = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (parse_u64(a, "--seed", seed)) {
+      have_seed = true;
+    } else if (parse_u64(a, "--first", first) || parse_u64(a, "--count", count) ||
+               parse_str(a, "--scratch", scratch) ||
+               parse_str(a, "--fail-file", fail_file)) {
+    } else if (std::strcmp(a, "--keep") == 0) {
+      keep = true;
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      verbose = false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a);
+      return 2;
+    }
+  }
+
+  if (have_seed) {
+    const chaos::ScenarioPlan plan = chaos::draw_plan(seed);
+    std::printf("plan: %s\n", plan.describe().c_str());
+    for (const chaos::ChurnEvent& ev : plan.churn) {
+      std::printf("  churn: node %u down at %" PRId64 "ms, up at %" PRId64 "ms\n",
+                  ev.node, ev.down_at / sim::kMillisecond, ev.up_at / sim::kMillisecond);
+    }
+    const chaos::FuzzResult r = chaos::fuzz_one(seed, scratch, keep);
+    r.verdict.report.print("  workload");
+    std::printf(
+        "  consistent=%s drained=%s progressed=%s crashes=%u restarts=%u "
+        "max_finalized=%" PRIu64 " elapsed=%" PRId64 "ms trace=%016" PRIx64 "\n",
+        r.verdict.chains_consistent ? "yes" : "NO", r.verdict.drained ? "yes" : "NO",
+        r.verdict.progressed ? "yes" : "NO", r.verdict.crashes, r.verdict.restarts,
+        static_cast<std::uint64_t>(r.verdict.max_finalized),
+        r.verdict.elapsed / sim::kMillisecond, r.verdict.trace_digest);
+    std::printf("%s seed=%" PRIu64 "%s%s\n", r.passed ? "PASS" : "FAIL", seed,
+                r.passed ? "" : " failure=", r.failure.c_str());
+    return r.passed ? 0 : 1;
+  }
+
+  const chaos::FuzzBatchResult batch =
+      chaos::fuzz_batch(first, count, scratch, verbose, keep);
+  if (!fail_file.empty() && !batch.failures.empty()) {
+    if (std::FILE* f = std::fopen(fail_file.c_str(), "a")) {
+      for (const chaos::FuzzResult& r : batch.failures) {
+        std::fprintf(f, "%s  # %s -> %s\n", r.reproducer().c_str(), r.plan.c_str(),
+                     r.failure.c_str());
+      }
+      std::fclose(f);
+    }
+  }
+  std::printf("fuzz: %" PRIu64 "/%" PRIu64 " seeds passed (first=%" PRIu64 ")\n",
+              batch.ran - batch.failed, batch.ran, first);
+  return batch.failed > 125 ? 125 : static_cast<int>(batch.failed);
+}

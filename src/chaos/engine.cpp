@@ -1,0 +1,270 @@
+#include "chaos/engine.hpp"
+
+#include <cstdlib>
+#include <cstdio>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "multishot/node.hpp"
+#include "sim/adversary.hpp"
+#include "sim/runtime.hpp"
+#include "storage/durable_chain.hpp"
+#include "workload/generator.hpp"
+
+namespace tbft::chaos {
+
+namespace fs = std::filesystem;
+
+std::string ChaosVerdict::failure() const {
+  if (ok()) return "";
+  std::string why;
+  const auto add = [&why](const char* part) {
+    if (!why.empty()) why += '+';
+    why += part;
+  };
+  if (!chains_consistent) add("chain-divergence");
+  if (report.duplicates != 0) add("double-commit");
+  if (report.foreign != 0) add("foreign-commit");
+  if (report.retry_duplicates > report.retried * observers) add("retry-dup-overflow");
+  if (!drained) add("undrained");
+  if (!progressed) add("no-progress");
+  return why;
+}
+
+namespace {
+
+/// Submission port that tracks the replica across crash/restart: submissions
+/// while the node is down are rejected (backpressure), exactly like a dead
+/// TCP endpoint, and resume against the recovered instance.
+struct LivePort final : workload::SubmitPort {
+  explicit LivePort(multishot::MultishotNode** slot) : slot_(slot) {}
+  bool submit(std::vector<std::uint8_t> tx) override {
+    return *slot_ != nullptr && (*slot_)->submit_tx(std::move(tx));
+  }
+  multishot::MultishotNode** slot_;
+};
+
+storage::DurableOptions durable_options() {
+  storage::DurableOptions o;
+  o.checkpoint_every = 16;
+  o.flush_every = 1;
+  o.segment_bytes = 32u << 10;
+  return o;
+}
+
+/// Fresh honest replica, recovered from `dir` when a previous life left
+/// durable state there.
+std::unique_ptr<multishot::MultishotNode> make_recovered(
+    const multishot::MultishotConfig& cfg, storage::DurableChain& durable) {
+  auto node = std::make_unique<multishot::MultishotNode>(cfg);
+  storage::RecoveredState rec = durable.recover();
+  if (rec.tip() > 0 || !rec.commit_state.empty()) {
+    node->restore_chain(rec.checkpoint, rec.commit_state, std::move(rec.tail));
+  }
+  node->set_durable(&durable);
+  return node;
+}
+
+}  // namespace
+
+ChaosVerdict run_plan(const ScenarioPlan& plan, const fs::path& work_dir) {
+  TBFT_ASSERT_MSG(plan.roles.size() == plan.n, "plan roles not sized n");
+
+  sim::SimConfig sc;
+  sc.seed = plan.seed;
+  sc.net.gst = 0;  // synchronous from the start: all chaos is scheduled, not stochastic
+  sc.net.delta_bound = plan.delta_bound;
+  sc.net.delta_actual = std::max<sim::SimTime>(1, plan.delta_bound / 10);
+  sc.net.delta_min = sc.net.delta_actual;
+  auto simu = std::make_unique<sim::Simulation>(sc);
+  simu->network().set_topology(plan.topology);
+
+  multishot::MultishotConfig node_cfg;
+  node_cfg.n = plan.n;
+  node_cfg.f = plan.f;
+  node_cfg.delta_bound = plan.delta_bound;
+  node_cfg.max_slots = 0;
+  node_cfg.max_batch_txs = 32;
+  node_cfg.max_batch_bytes = 4096;
+  node_cfg.mempool_capacity = 4096;
+
+  ChaosVerdict v;
+
+  // Replica pointers live here (stable storage: LivePorts alias the slots);
+  // nullptr marks Byzantine roles and crashed replicas.
+  std::vector<multishot::MultishotNode*> replicas(plan.n, nullptr);
+  std::vector<std::unique_ptr<storage::DurableChain>> durables(plan.n);
+  workload::WorkloadTracker tracker(simu->metrics());
+
+  const auto node_dir = [&](NodeId id) {
+    return work_dir / ("node-" + std::to_string(id));
+  };
+
+  for (NodeId i = 0; i < plan.n; ++i) {
+    switch (plan.roles[i]) {
+      case ByzRole::kSilent:
+        simu->add_node(std::make_unique<sim::SilentNode>());
+        break;
+      case ByzRole::kJunk:
+        simu->add_node(std::make_unique<sim::RandomJunkNode>(plan.delta_bound / 2));
+        break;
+      case ByzRole::kSlowLoris:
+        // Hold each proposal to the timeout edge: victims' 9-Delta view
+        // timers are 2 Delta away when the proposal finally ships.
+        simu->add_node(std::make_unique<sim::SlowLorisLeader>(node_cfg, 7 * plan.delta_bound));
+        break;
+      case ByzRole::kEquivocator:
+        simu->add_node(std::make_unique<sim::ViewChangeEquivocator>(node_cfg));
+        break;
+      case ByzRole::kHonest: {
+        fs::remove_all(node_dir(i));
+        fs::create_directories(node_dir(i));
+        durables[i] = std::make_unique<storage::DurableChain>(node_dir(i), durable_options());
+        auto node = make_recovered(node_cfg, *durables[i]);
+        tracker.observe(*node);
+        ++v.observers;
+        replicas[i] = node.get();
+        simu->add_node(std::move(node));
+        break;
+      }
+    }
+  }
+
+  // Clients target honest replicas only (their ports survive churn), with
+  // staggered round-robin start points, exactly like the workload rig.
+  std::vector<std::unique_ptr<workload::SubmitPort>> ports;
+  std::vector<workload::SubmitPort*> honest;
+  for (NodeId i = 0; i < plan.n; ++i) {
+    if (plan.roles[i] == ByzRole::kHonest) {
+      ports.push_back(std::make_unique<LivePort>(&replicas[i]));
+      honest.push_back(ports.back().get());
+    }
+  }
+  TBFT_ASSERT_MSG(!honest.empty(), "chaos plan with no honest replica");
+
+  for (std::uint32_t c = 0; c < plan.clients; ++c) {
+    workload::ClientConfig base;
+    base.client_id = c;
+    base.request_bytes = plan.request_bytes;
+    base.start = 0;
+    base.stop = plan.load_duration;
+    base.retry_timeout = plan.client_retry_timeout;
+    std::vector<workload::SubmitPort*> targets;
+    for (std::size_t i = 0; i < honest.size(); ++i) {
+      targets.push_back(honest[(c + i) % honest.size()]);
+    }
+    if (plan.load == LoadShape::kClosedLoop) {
+      workload::ClosedLoopConfig cl;
+      cl.base = base;
+      cl.outstanding = plan.outstanding;
+      simu->add_client(
+          std::make_unique<workload::ClosedLoopClient>(cl, targets, tracker));
+    } else {
+      workload::OpenLoopConfig ol;
+      ol.base = base;
+      ol.rate_per_sec = plan.rate_per_sec;
+      if (plan.load == LoadShape::kOpenBurst) {
+        ol.burst_period = plan.load_duration / 4;
+        ol.burst_duty = 0.25;
+        ol.burst_multiplier = 4.0;
+      }
+      simu->add_client(std::make_unique<workload::OpenLoopClient>(ol, targets, tracker));
+    }
+  }
+
+  simu->start();
+
+  // --- The churn schedule: crash at down_at, recover from disk at up_at. ---
+  for (const ChurnEvent& ev : plan.churn) {
+    simu->run_until(ev.down_at);
+    TBFT_ASSERT_MSG(replicas[ev.node] != nullptr, "churn hit a non-live replica");
+    simu->crash_node(ev.node);
+    replicas[ev.node] = nullptr;
+    durables[ev.node].reset();  // close WAL/checkpoint files, like process death
+    ++v.crashes;
+
+    simu->run_until(ev.up_at);
+    durables[ev.node] =
+        std::make_unique<storage::DurableChain>(node_dir(ev.node), durable_options());
+    auto fresh = make_recovered(node_cfg, *durables[ev.node]);
+    tracker.observe(*fresh);
+    ++v.observers;
+    replicas[ev.node] = fresh.get();
+    simu->restart_node(ev.node, std::move(fresh));
+    ++v.restarts;
+  }
+
+  // --- Load window + drain. Every chaos client retries, so a request
+  // stranded in a crashed mempool is re-submitted once its retry timer
+  // fires: unlike the workload rig there is no empty-pools early exit --
+  // the run ends when everything admitted committed (or at the deadline,
+  // which is then a liveness failure).
+  const auto drained = [&] {
+    return simu->now() >= plan.load_duration && tracker.admitted() > 0 &&
+           tracker.all_admitted_committed();
+  };
+  simu->run_until_pred(drained, plan.drain_deadline);
+  v.elapsed = simu->now();
+  // Let in-flight traffic settle so lagging replicas converge before the
+  // consistency check.
+  simu->run_until(simu->now() + 2 * plan.delta_bound);
+
+  if (std::getenv("TBFT_CHAOS_DEBUG") != nullptr) {
+    auto& mx = simu->metrics();
+    std::fprintf(stderr, "blockreq sent=%llu served=%llu adopted=%llu\n",
+                 static_cast<unsigned long long>(mx.counter("multishot.blockreq.sent").value()),
+                 static_cast<unsigned long long>(mx.counter("multishot.blockreq.served").value()),
+                 static_cast<unsigned long long>(mx.counter("multishot.blockreq.adopted").value()));
+    for (NodeId i = 0; i < plan.n; ++i) {
+      const auto* node = replicas[i];
+      if (node == nullptr) continue;
+      std::fprintf(stderr, "node %u: finalized=%llu pool=%zu\n", i,
+                   static_cast<unsigned long long>(node->finalized_count()),
+                   node->mempool().size());
+      const auto& ch = node->chain();
+      const Slot first = node->finalized_count() + 1;
+      for (Slot s = first; s < first + 8; ++s) {
+        const auto n = ch.notarized(s);
+        if (!n) {
+          std::fprintf(stderr, "  slot %llu: no notarization\n",
+                       static_cast<unsigned long long>(s));
+          continue;
+        }
+        const auto* b = ch.find_block(s, n->hash);
+        std::fprintf(stderr,
+                     "  slot %llu: notarized view=%llu hash=%016llx block=%s parent=%016llx"
+                     " want_parent=%016llx\n",
+                     static_cast<unsigned long long>(s),
+                     static_cast<unsigned long long>(n->view),
+                     static_cast<unsigned long long>(n->hash), b ? "yes" : "MISSING",
+                     b ? static_cast<unsigned long long>(b->parent_hash) : 0ULL,
+                     static_cast<unsigned long long>(
+                         s == first ? ch.finalized_tip_hash()
+                                    : (ch.notarized(s - 1) ? ch.notarized(s - 1)->hash : 0)));
+      }
+      for (const auto& e : node->mempool().entries()) {
+        std::fprintf(stderr,
+                     "  tx hash=%016llx size=%zu inflight=%d slot=%llu hold_until=%lld\n",
+                     static_cast<unsigned long long>(e.hash), e.tx.size(), e.inflight,
+                     static_cast<unsigned long long>(e.slot),
+                     static_cast<long long>(e.hold_until));
+      }
+    }
+  }
+
+  v.report = tracker.report(v.elapsed);
+  v.drained = tracker.admitted() > 0 && tracker.all_admitted_committed();
+  v.progressed = v.report.committed > 0;
+  v.chains_consistent = multishot::chains_prefix_consistent(replicas);
+  for (const auto* node : replicas) {
+    if (node != nullptr) v.max_finalized = std::max(v.max_finalized, node->finalized_count());
+  }
+  v.trace_digest = simu->trace().digest();
+  return v;
+}
+
+}  // namespace tbft::chaos

@@ -1,0 +1,51 @@
+#pragma once
+// Scenario fuzzer: draws ScenarioPlans from seeds, runs them through the
+// chaos engine, and renders every failure as a one-line reproducer
+// (`fuzz_driver --seed=N`). Batches are embarrassingly parallel over seeds
+// but run sequentially here -- each run is a pure function of its seed, so
+// sharding is the CI matrix's job, not this file's.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "chaos/engine.hpp"
+#include "chaos/scenario.hpp"
+
+namespace tbft::chaos {
+
+struct FuzzResult {
+  std::uint64_t seed{0};
+  bool passed{false};
+  std::string plan;        // ScenarioPlan::describe()
+  std::string failure;     // ChaosVerdict::failure() ("" when passed)
+  ChaosVerdict verdict;
+
+  /// The reproducer contract: this exact command replays the run.
+  [[nodiscard]] std::string reproducer() const {
+    return "fuzz_driver --seed=" + std::to_string(seed);
+  }
+};
+
+struct FuzzBatchResult {
+  std::uint64_t ran{0};
+  std::uint64_t failed{0};
+  std::vector<FuzzResult> failures;  // only the failing seeds (kept small)
+
+  [[nodiscard]] bool all_passed() const { return failed == 0; }
+};
+
+/// Run the plan for `seed` in a scratch directory under `scratch_root`
+/// (created fresh, removed afterwards unless the run fails and
+/// `keep_failed_dirs` is set).
+FuzzResult fuzz_one(std::uint64_t seed, const std::filesystem::path& scratch_root,
+                    bool keep_failed_dirs = false);
+
+/// Run seeds [first, first + count); `verbose` prints one line per seed,
+/// otherwise only failures print (as reproducer lines on stderr).
+FuzzBatchResult fuzz_batch(std::uint64_t first, std::uint64_t count,
+                           const std::filesystem::path& scratch_root,
+                           bool verbose = false, bool keep_failed_dirs = false);
+
+}  // namespace tbft::chaos

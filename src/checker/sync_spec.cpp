@@ -1,0 +1,200 @@
+#include "checker/sync_spec.hpp"
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace tbft::checker {
+
+// --- Range-sync adoption ----------------------------------------------------
+//
+// State: per claimer the id it has claimed (0 = none yet, 1 = truth,
+// 2 = lie), plus the laggard's adopted id (0 = none). Claimers 0..byz-1 are
+// the Byzantine wildcards.
+
+namespace {
+
+struct SyncState {
+  std::array<std::int8_t, 8> claim{};  // 0 none / 1 truth / 2 lie
+  std::int8_t adopted{0};
+
+  friend bool operator==(const SyncState&, const SyncState&) = default;
+};
+
+struct SyncStateHash {
+  std::size_t operator()(const SyncState& s) const noexcept {
+    std::size_t h = static_cast<std::size_t>(s.adopted);
+    for (std::int8_t c : s.claim) h = h * 31 + static_cast<std::size_t>(c + 1);
+    return h;
+  }
+};
+
+int count_claims(const SyncState& s, int claimers, std::int8_t id) {
+  int c = 0;
+  for (int p = 0; p < claimers; ++p) c += (s.claim[p] == id) ? 1 : 0;
+  return c;
+}
+
+}  // namespace
+
+PathExploreResult explore_sync(const SyncSpecConfig& cfg) {
+  TBFT_ASSERT(cfg.claimers() <= 8);   // sync spec is bounded to 8 claimers
+  TBFT_ASSERT(cfg.byz <= cfg.f);      // Byzantine claimers within the budget
+  PathExploreResult res;
+
+  std::unordered_set<SyncState, SyncStateHash> seen;
+  std::deque<SyncState> frontier;
+  frontier.push_back(SyncState{});
+  seen.insert(frontier.front());
+  res.states = 1;
+
+  while (!frontier.empty()) {
+    const SyncState s = frontier.front();
+    frontier.pop_front();
+
+    if (s.adopted == 2) {
+      res.violation = true;
+      res.violated_property = "AdoptedIsTruth";
+      return res;
+    }
+
+    std::vector<SyncState> next;
+    // Claim(p, id): each claimer speaks once; honest claimers report the
+    // ground truth, wildcards say whatever helps.
+    for (int p = 0; p < cfg.claimers(); ++p) {
+      if (s.claim[p] != 0) continue;
+      for (std::int8_t id = 1; id <= 2; ++id) {
+        if (p >= cfg.byz && id != 1) continue;  // honest: truth only
+        SyncState t = s;
+        t.claim[p] = id;
+        next.push_back(t);
+      }
+    }
+    // Adopt(id): threshold distinct claimers agree. The laggard has no way
+    // to tell truth from lie except the count -- this is the guard under
+    // test.
+    if (s.adopted == 0) {
+      for (std::int8_t id = 1; id <= 2; ++id) {
+        if (count_claims(s, cfg.claimers(), id) < cfg.threshold()) continue;
+        SyncState t = s;
+        t.adopted = id;
+        next.push_back(t);
+      }
+    }
+
+    for (const SyncState& t : next) {
+      ++res.transitions;
+      if (!seen.insert(t).second) continue;
+      ++res.states;
+      frontier.push_back(t);
+    }
+  }
+  return res;
+}
+
+// --- Forwarded-transaction exactly-once -------------------------------------
+//
+// Two holders i in {0, 1}; per holder a copy state and a candidate-block
+// state. Delivery is abstracted away (candidates are globally visible --
+// the BFS interleavings already cover "probed before the other proposed").
+
+namespace {
+
+enum class Copy : std::int8_t { kHold, kBatchable, kSpent };
+enum class Cand : std::int8_t { kNone, kPending, kCommitted, kAbandoned };
+
+struct FwdState {
+  std::array<Copy, 2> copy{Copy::kBatchable, Copy::kHold};  // leader, origin
+  std::array<Cand, 2> cand{Cand::kNone, Cand::kNone};
+
+  friend bool operator==(const FwdState&, const FwdState&) = default;
+};
+
+struct FwdStateHash {
+  std::size_t operator()(const FwdState& s) const noexcept {
+    std::size_t h = 0;
+    for (int i = 0; i < 2; ++i) {
+      h = h * 16 + static_cast<std::size_t>(s.copy[i]);
+      h = h * 16 + static_cast<std::size_t>(s.cand[i]);
+    }
+    return h;
+  }
+};
+
+int commit_count(const FwdState& s) {
+  return (s.cand[0] == Cand::kCommitted ? 1 : 0) + (s.cand[1] == Cand::kCommitted ? 1 : 0);
+}
+
+}  // namespace
+
+PathExploreResult explore_forward(const ForwardSpecConfig& cfg) {
+  PathExploreResult res;
+  const bool probe_pending = cfg.mutation != ForwardSpecConfig::Mutation::NoPendingProbe;
+
+  std::unordered_set<FwdState, FwdStateHash> seen;
+  std::deque<FwdState> frontier;
+  frontier.push_back(FwdState{});
+  seen.insert(frontier.front());
+  res.states = 1;
+
+  while (!frontier.empty()) {
+    const FwdState s = frontier.front();
+    frontier.pop_front();
+
+    if (commit_count(s) > 1) {
+      res.violation = true;
+      res.violated_property = "AtMostOneCommit";
+      return res;
+    }
+
+    std::vector<FwdState> next;
+    for (int i = 0; i < 2; ++i) {
+      const int j = 1 - i;
+      // Expire(i): the hold timeout fires. Timeouts are not guards -- the
+      // copy simply becomes batchable again; build_batch's probe decides.
+      if (s.copy[i] == Copy::kHold) {
+        FwdState t = s;
+        t.copy[i] = Copy::kBatchable;
+        next.push_back(t);
+      }
+      // Propose(i): build_batch. The probe: skip when any candidate already
+      // carries the tx -- committed (tx_finalized) always, pending
+      // (tx_in_pending_candidate) unless mutated away.
+      if (s.copy[i] == Copy::kBatchable &&
+          (s.cand[i] == Cand::kNone || s.cand[i] == Cand::kAbandoned)) {
+        const bool held_elsewhere =
+            s.cand[j] == Cand::kCommitted || (probe_pending && s.cand[j] == Cand::kPending);
+        if (!held_elsewhere) {
+          FwdState t = s;
+          t.cand[i] = Cand::kPending;
+          t.copy[i] = Copy::kSpent;
+          next.push_back(t);
+        }
+      }
+      // Commit(i) / Abandon(i): consensus decides the candidate's fate.
+      if (s.cand[i] == Cand::kPending) {
+        FwdState t = s;
+        t.cand[i] = Cand::kCommitted;
+        next.push_back(t);
+        FwdState u = s;
+        u.cand[i] = Cand::kAbandoned;
+        u.copy[i] = Copy::kHold;  // the batch's txs return to the holder
+        next.push_back(u);
+      }
+    }
+
+    for (const FwdState& t : next) {
+      ++res.transitions;
+      if (!seen.insert(t).second) continue;
+      ++res.states;
+      frontier.push_back(t);
+    }
+  }
+  return res;
+}
+
+}  // namespace tbft::checker

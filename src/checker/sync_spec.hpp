@@ -1,0 +1,79 @@
+#pragma once
+// Abstract specs for the two catch-up paths the main spec (spec.hpp) does not
+// cover: range-sync adoption (MsSyncRequest / MsSyncChunk) and client-request
+// forwarding (MsForwardTx). Both follow the same recipe as the single-shot
+// spec: a tiny abstract state, Byzantine behavior as per-guard wildcards, an
+// invariant, and one mutation per load-bearing guard clause that the
+// exhaustive explorer must catch.
+//
+// SyncSpec -- a laggard adopting a finalized block it missed. Peers claim
+// "slot s finalized with id v"; honest peers claim the ground truth, the byz
+// wildcards claim anything. The laggard adopts once f+1 DISTINCT peers agree
+// on an id: any f+1 set contains an honest member, so the id is the truth.
+// Invariant: the laggard never adopts a non-truth id. The BlockingOffByOne
+// mutation (threshold f) lets an all-Byzantine claimer set force a lie.
+//
+// ForwardSpec -- one forwarded transaction, two holders (the origin kept an
+// inflight copy, the recipient leader has it batchable), each running the
+// real build_batch rule: batch only when NO pending or committed candidate
+// already carries the tx. Holds expire freely (timeouts are not guards);
+// the probe at batch time is the guard. Invariant: at most one commit. The
+// NoPendingProbe mutation (batch checks committed blocks only) reproduces
+// exactly the double-commit race the chaos fuzzer found in seeds 205/362.
+
+#include <cstdint>
+#include <string>
+
+namespace tbft::checker {
+
+/// Shared result shape for the self-contained explorers below (the main
+/// explorer is coupled to the single-shot `Spec`; these state spaces are
+/// a few hundred states, so each spec carries its own BFS).
+struct PathExploreResult {
+  std::uint64_t states{0};
+  std::uint64_t transitions{0};
+  bool violation{false};
+  std::string violated_property;
+
+  [[nodiscard]] bool exhaustive_ok() const noexcept { return !violation; }
+};
+
+// --- Range-sync adoption ----------------------------------------------------
+
+struct SyncSpecConfig {
+  int n{4};  // total nodes: 1 laggard + n-1 potential claimers
+  int f{1};  // fault budget
+  int byz{1};  // Byzantine claimers (<= f)
+
+  enum class Mutation : std::uint8_t {
+    None = 0,
+    BlockingOffByOne,  // adopt at f distinct claimers instead of f+1
+  };
+  Mutation mutation{Mutation::None};
+
+  [[nodiscard]] int claimers() const noexcept { return n - 1; }
+  [[nodiscard]] int threshold() const noexcept {
+    return mutation == Mutation::BlockingOffByOne ? f : f + 1;
+  }
+};
+
+/// Exhaustively explore all claim interleavings. Ids are abstracted to
+/// {truth = 1, lie = 2}; honest claimers only ever claim 1, Byzantine
+/// claimers claim either. Violation: the laggard adopts 2.
+PathExploreResult explore_sync(const SyncSpecConfig& cfg);
+
+// --- Forwarded-transaction exactly-once -------------------------------------
+
+struct ForwardSpecConfig {
+  enum class Mutation : std::uint8_t {
+    None = 0,
+    NoPendingProbe,  // build_batch ignores pending candidates (pre-fix bug)
+  };
+  Mutation mutation{Mutation::None};
+};
+
+/// Exhaustively explore propose / commit / abandon / expire interleavings of
+/// one forwarded tx across its two holders. Violation: two commits.
+PathExploreResult explore_forward(const ForwardSpecConfig& cfg);
+
+}  // namespace tbft::checker

@@ -1,5 +1,6 @@
 #include "multishot/chain.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -57,6 +58,16 @@ bool ChainStore::notarize(Slot slot, View view, std::uint64_t hash) {
   SlotEntry* e = window_.ensure(slot);
   if (e == nullptr) return false;  // beyond the window: bounded storage wins
   if (e->has_notarization && view <= e->notar.view) return false;
+  e->notar = Notarization{view, hash};
+  e->has_notarization = true;
+  return true;
+}
+
+bool ChainStore::adopt_parent_notarization(Slot slot, View view, std::uint64_t hash) {
+  if (is_finalized(slot)) return false;
+  SlotEntry* e = window_.ensure(slot);
+  if (e == nullptr) return false;
+  if (e->has_notarization && (view < e->notar.view || e->notar.hash == hash)) return false;
   e->notar = Notarization{view, hash};
   e->has_notarization = true;
   return true;
@@ -157,6 +168,26 @@ bool ChainStore::candidate_has_txs(Slot slot, std::uint64_t hash) const {
   const SlotEntry* e = window_.find(slot);
   const Candidate* c = e == nullptr ? nullptr : e->find(hash);
   return c == nullptr || c->has_txs;
+}
+
+bool ChainStore::tx_in_pending_candidate(std::uint64_t hash,
+                                         std::span<const std::uint8_t> tx) const {
+  bool found = false;
+  window_.for_each([&](Slot s, const SlotEntry& e) {
+    if (found || is_finalized(s)) return;
+    for (std::size_t i = 0; i < e.used && !found; ++i) {
+      const Candidate& c = e.candidates[i];
+      if (!c.has_txs) continue;
+      for (const auto frame : payload_frames(c.block.payload)) {
+        if (frame.size() == tx.size() && fnv1a64(frame) == hash &&
+            std::equal(frame.begin(), frame.end(), tx.begin())) {
+          found = true;
+          break;
+        }
+      }
+    }
+  });
+  return found;
 }
 
 void ChainStore::prune_finalized() { window_.advance_base(first_unfinalized()); }

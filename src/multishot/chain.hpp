@@ -63,6 +63,15 @@ class ChainStore {
   /// notarization state changed. Slots outside the window are refused.
   bool notarize(Slot slot, View view, std::uint64_t hash);
 
+  /// Adopt `hash` as `slot`'s notarization on the strength of a *child*
+  /// notarization at `view` whose block links to it: a quorum that
+  /// notarizes slot+1 pipeline-records phase votes for the parent at the
+  /// same view (record_vote_effects), so the inference carries the child
+  /// quorum's authority even when this slot's own vote window pruned those
+  /// views long ago. Unlike notarize(), an *equal* view overrides -- the
+  /// child's quorum is later in the pipeline -- but a lower one never does.
+  bool adopt_parent_notarization(Slot slot, View view, std::uint64_t hash);
+
   /// Adopt a finalized block learned through f+1 matching claims; must
   /// extend the current finalized tip at the first unfinalized slot.
   /// Returns false (and does nothing) otherwise.
@@ -132,6 +141,13 @@ class ChainStore {
   /// True when candidate (slot, hash) carries transaction frames -- or is
   /// not stored locally (unknown content is conservatively pending).
   [[nodiscard]] bool candidate_has_txs(Slot slot, std::uint64_t hash) const;
+
+  /// True when `tx` (with precomputed fnv1a64 `hash`) appears as a frame in
+  /// any locally stored candidate of an unfinalized slot. Forward-fallback
+  /// resume probe: a relayed copy already riding a pending proposal means
+  /// re-batching the local copy now could commit the same bytes twice.
+  [[nodiscard]] bool tx_in_pending_candidate(std::uint64_t hash,
+                                             std::span<const std::uint8_t> tx) const;
 
   /// Window slabs ever allocated == peak unfinalized-slot occupancy
   /// (bounded-storage regression tests).

@@ -29,6 +29,8 @@ enum class MsType : std::uint8_t {
   ForwardTx = 19,
   CheckpointRequest = 20,
   CheckpointChunk = 21,
+  BlockRequest = 22,
+  BlockReply = 23,
 };
 
 struct MsProposal {
@@ -364,9 +366,63 @@ struct MsCheckpointChunk {
   }
 };
 
+/// Content recovery for an *unfinalized* slot: "send me the block hashing to
+/// `block_hash` at `slot`". A quorum of votes can notarize a hash whose
+/// content this node never received (votes carry hashes only), and Rule 1
+/// can force a leader to re-propose a previously proposed value it does not
+/// hold -- both dead-end without the bytes, because range sync and ChainInfo
+/// serve finalized blocks only. The request is broadcast; any peer holding
+/// the block (candidate store or finalized chain) answers, and the
+/// content-addressed hash authenticates the reply: one honest copy anywhere
+/// in the network unblocks the slot.
+struct MsBlockRequest {
+  Slot slot{0};
+  std::uint64_t block_hash{0};
+
+  friend bool operator==(const MsBlockRequest&, const MsBlockRequest&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsType::BlockRequest));
+    w.u64(slot);
+    w.u64(block_hash);
+  }
+  static MsBlockRequest decode(serde::Reader& r) {
+    MsBlockRequest m;
+    m.slot = r.u64();
+    m.block_hash = r.u64();
+    if (m.slot < 1) r.fail();
+    return m;
+  }
+};
+
+/// Answer to MsBlockRequest: the full block. The receiver recomputes the
+/// hash and accepts only a block it is actually waiting for (its recorded
+/// notarization or requested recovery hash), so Byzantine replies cannot
+/// plant content nobody asked about.
+struct MsBlockReply {
+  Slot slot{0};
+  Block block;
+
+  friend bool operator==(const MsBlockReply&, const MsBlockReply&) = default;
+
+  void encode(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(MsType::BlockReply));
+    w.u64(slot);
+    block.encode(w);
+  }
+  static MsBlockReply decode(serde::Reader& r) {
+    MsBlockReply m;
+    m.slot = r.u64();
+    m.block = Block::decode(r);
+    if (m.slot < 1 || m.block.slot != m.slot) r.fail();
+    return m;
+  }
+};
+
 using MsMessage = std::variant<MsProposal, MsVote, MsSuggest, MsProof, MsViewChange,
                                MsChainInfo, MsSyncRequest, MsSyncChunk, MsForwardTx,
-                               MsCheckpointRequest, MsCheckpointChunk>;
+                               MsCheckpointRequest, MsCheckpointChunk, MsBlockRequest,
+                               MsBlockReply>;
 
 std::vector<std::uint8_t> encode_ms(const MsMessage& m);
 

@@ -71,6 +71,8 @@ std::optional<MsMessage> decode_ms(std::span<const std::uint8_t> payload) {
     case MsType::ForwardTx: out = MsForwardTx::decode(r); break;
     case MsType::CheckpointRequest: out = MsCheckpointRequest::decode(r); break;
     case MsType::CheckpointChunk: out = MsCheckpointChunk::decode(r); break;
+    case MsType::BlockRequest: out = MsBlockRequest::decode(r); break;
+    case MsType::BlockReply: out = MsBlockReply::decode(r); break;
     default: return std::nullopt;
   }
   if (!r.done()) return std::nullopt;
@@ -274,10 +276,19 @@ MultishotNode::BatchDraft MultishotNode::build_batch(View view) {
     // Expired hold: the relay may have committed it in a block this node has
     // not finalized yet (reconciliation erases the entry only at its own
     // finalization) -- the O(1) index probe closes that re-commit window.
-    // A residual race remains when both copies are in flight at once; the
-    // idle-only forwarding gate (forward_if_foreign_leader) keeps that off
-    // the loaded path where it could actually interleave.
-    if (e.hold_until != 0 && chain_.commit_slot(e.tx, e.hash) != 0) continue;
+    if (e.hold_until != 0) {
+      if (chain_.commit_slot(e.tx, e.hash) != 0) continue;
+      // The relayed copy can also still be *in flight*: riding a pending
+      // proposal that stalled behind faulty-leader view changes for longer
+      // than the hold. Re-batching the local copy would put the same bytes
+      // in two live slots, so keep holding while any pending candidate
+      // carries them (the slot's outcome settles the copy either way). The
+      // remaining window is a relay proposal not yet received (< delta).
+      if (chain_.tx_in_pending_candidate(e.hash, e.tx)) {
+        e.hold_until = now + forward_retry();
+        continue;
+      }
+    }
     if (draft.entries.size() >= cfg_.max_batch_txs) break;
     const std::size_t frame = varint_size(e.tx.size()) + e.tx.size();
     if (!draft.entries.empty() && w.size() + frame > cfg_.max_batch_bytes) break;
@@ -398,7 +409,13 @@ void MultishotNode::try_propose(Slot s) {
     } else {
       // Rule 1 forces a previously proposed block: re-propose it.
       const Block* existing = chain_.find_block(s, val->id);
-      if (existing == nullptr) return;  // content unknown; wait for it
+      if (existing == nullptr) {
+        // Content unknown: ask the network for the bytes instead of waiting
+        // for a delivery that may never come (the voters that held them can
+        // have crash-lost the unfinalized block since).
+        request_block_content(s, val->id);
+        return;
+      }
       block = *existing;
     }
   }
@@ -483,10 +500,48 @@ void MultishotNode::record_vote_effects(Slot s, View v, const Block& head) {
 
 void MultishotNode::on_notarized(Slot s) {
   if (record_timeline_) notarized_at_.try_emplace(s, ctx().now());
+  heal_notarization_seams();
   finalize_progress();
+  // A quorum of votes can notarize a hash whose block never reached this
+  // node: chase the content right away -- finalization (and building the
+  // next slot on a stored parent) needs the bytes.
+  if (const auto nt = chain_.notarized(s);
+      nt && !chain_.is_finalized(s) && chain_.find_block(s, nt->hash) == nullptr) {
+    request_block_content(s, nt->hash);
+  }
   try_vote(s);
   try_vote(s + 1);
   try_propose(s + 1);
+}
+
+// An equivocating leader can split one view's votes so that slot s
+// notarizes twin A while slot s+1 notarizes a block built on twin B: every
+// per-slot notarization is quorum-backed, but the cross-slot parent links
+// are incoherent and the depth-4 finalization rule can never fire again --
+// Rule 1 re-locks each slot on its own notarized value, so no amount of
+// view changes repairs the seam (chaos seeds 63/188/297). The repair is
+// the pipelined-vote inference: the quorum notarizing the child recorded
+// phase votes for the child's parent at the child's view, so adopt that
+// parent as the slot's notarization (and fetch its bytes if they never
+// reached us). Walk top-down so a cascade of seams heals in one pass.
+void MultishotNode::heal_notarization_seams() {
+  const Slot base = chain_.first_unfinalized();
+  Slot top = base;
+  while (chain_.notarized(top + 1).has_value()) ++top;  // bounded by the window
+  for (Slot s = top; s > base; --s) {
+    const auto child = chain_.notarized(s);
+    const auto cur = chain_.notarized(s - 1);
+    if (!child || (cur && child->view < cur->view)) continue;
+    const Block* cb = chain_.find_block(s, child->hash);
+    if (cb == nullptr) continue;  // content recovery will re-trigger the pass
+    if (cur && cur->hash == cb->parent_hash) continue;  // coherent link
+    if (chain_.adopt_parent_notarization(s - 1, child->view, cb->parent_hash)) {
+      ctx().metrics().counter("multishot.seam.healed").add();
+      if (chain_.find_block(s - 1, cb->parent_hash) == nullptr) {
+        request_block_content(s - 1, cb->parent_hash);
+      }
+    }
+  }
 }
 
 void MultishotNode::finalize_progress() {
@@ -775,6 +830,16 @@ void MultishotNode::on_timer(runtime::TimerId id) {
     tst->highest_vc_sent = target;
     ctx().metrics().counter("multishot.viewchange.sent").add();
     broadcast_ms(MsViewChange{target_slot, target});
+  }
+  // Content-recovery retransmission, same cadence: when the slot blocking
+  // the finalized suffix is notarized but content-unknown, re-request the
+  // bytes (the first request can race the responders' own catch-up, or a
+  // pre-GST drop).
+  heal_notarization_seams();
+  const Slot gap = proposal_frontier();
+  if (const auto nt = chain_.notarized(gap);
+      nt && chain_.find_block(gap, nt->hash) == nullptr) {
+    request_block_content(gap, nt->hash, /*retransmit=*/true);
   }
   arm_timer(view_slot);  // retransmission against pre-GST loss
 }
@@ -1106,6 +1171,66 @@ void MultishotNode::finish_ckpt_fetch() {
   // Peer ranges are cleared too: they described a gap that no longer exists
   // (or hints that went stale); the next refusal round repopulates them.
   ckpt_.peers.assign(ckpt_.peers.size(), {});
+}
+
+// --- Unfinalized-block content recovery -------------------------------------
+
+void MultishotNode::request_block_content(Slot s, std::uint64_t hash, bool retransmit) {
+  SlotState* st = slot_state(s, true);
+  if (st == nullptr) return;  // outside the window: nothing to recover into
+  // try_propose / on_notarized re-enter on nearly every message; broadcast
+  // only when the want changes, and otherwise ride the view-timer cadence
+  // (the retransmit path) so a wedged slot costs one request per timeout.
+  if (st->wanted_hash == hash && !retransmit) return;
+  st->wanted_hash = hash;
+  ctx().metrics().counter("multishot.blockreq.sent").add();
+  // Broadcast: the hash authenticates the reply, so any single holder --
+  // a voter that kept its candidate, or a node that already finalized the
+  // slot -- suffices. Retransmission rides the view-timer cadence.
+  broadcast_ms(MsBlockRequest{s, hash});
+}
+
+void MultishotNode::handle(NodeId from, const MsBlockRequest& m) {
+  if (from == ctx().id()) return;  // own broadcast
+  const Block* b = chain_.find_block(m.slot, m.block_hash);
+  if (b == nullptr) {
+    // The slot may have finalized here (candidates pruned): serve from the
+    // resident finalized tail when the hash matches.
+    const Block* fb = chain_.block_at(m.slot);
+    if (fb != nullptr && fb->hash() == m.block_hash) b = fb;
+  }
+  if (b == nullptr) return;
+  ctx().metrics().counter("multishot.blockreq.served").add();
+  send_ms(from, MsBlockReply{m.slot, *b});
+}
+
+void MultishotNode::handle(NodeId from, const MsBlockReply& m) {
+  if (from == ctx().id() || chain_.is_finalized(m.slot)) return;
+  SlotState* st = slot_state(m.slot, false);
+  const std::uint64_t h = m.block.hash();
+  // Accept only content this node is actually waiting for: its recorded
+  // recovery want or the slot's current notarization. Anything else is a
+  // Byzantine plant and may not occupy candidate storage.
+  const bool wanted = (st != nullptr && st->wanted_hash == h) ||
+                      [&] {
+                        const auto nt = chain_.notarized(m.slot);
+                        return nt && nt->hash == h;
+                      }();
+  if (!wanted) return;
+  if (!chain_.add_block(m.block)) return;  // window race: drop
+  if (st != nullptr && st->wanted_hash == h) st->wanted_hash = 0;
+  ctx().metrics().counter("multishot.blockreq.adopted").add();
+  // The recovered bytes can complete a notarization's finalization chain,
+  // expose a parent-link seam that now has enough content to heal, satisfy
+  // a pending vote, or unblock the Rule-1-forced re-proposal that asked
+  // for them.
+  heal_notarization_seams();
+  finalize_progress();
+  const Slot next = chain_.first_unfinalized();
+  try_vote(m.slot);
+  try_propose(m.slot);
+  try_vote(next);
+  try_propose(next);
 }
 
 // --- Client-request forwarding ---------------------------------------------

@@ -229,6 +229,10 @@ class MultishotNode : public runtime::ProtocolNode {
     /// first-per-view ones. Bounded per *slot* (a leader of several views
     /// of one slot could otherwise alternate views to flood candidates).
     std::uint8_t extra_candidates{0};
+    /// Content-recovery want: the hash whose bytes this node asked peers
+    /// for (MsBlockRequest). Replies are accepted only against this or the
+    /// slot's recorded notarization hash.
+    std::uint64_t wanted_hash{0};
     core::VoteRecord record;                     // implicit per-slot phase history
     std::vector<std::optional<MsSuggest>> suggests;  // latest per sender
     std::vector<std::optional<MsProof>> proofs;      // latest per sender
@@ -248,6 +252,7 @@ class MultishotNode : public runtime::ProtocolNode {
       voted.reset();
       proposed = false;
       extra_candidates = 0;
+      wanted_hash = 0;
       record = core::VoteRecord{};
       suggests.assign(suggests.size(), std::nullopt);
       proofs.assign(proofs.size(), std::nullopt);
@@ -333,6 +338,19 @@ class MultishotNode : public runtime::ProtocolNode {
   void handle(NodeId from, const MsForwardTx& m);
   void handle(NodeId from, const MsCheckpointRequest& m);
   void handle(NodeId from, const MsCheckpointChunk& m);
+  void handle(NodeId from, const MsBlockRequest& m);
+  void handle(NodeId from, const MsBlockReply& m);
+
+  // --- Unfinalized-block content recovery ---
+  /// Broadcast a request for the bytes of (s, hash): a notarization formed
+  /// from votes alone, or a Rule-1-forced re-proposal value, can reference
+  /// content this node never received -- and churn can have crash-dropped it
+  /// from the nodes that voted (unfinalized blocks are not durable). Range
+  /// sync and ChainInfo serve finalized blocks only, so without this path a
+  /// content-unknown hash at the frontier wedges the chain through every
+  /// future view (the seeded fuzzer finds exactly that schedule).
+  void request_block_content(Slot s, std::uint64_t hash, bool retransmit = false);
+  void heal_notarization_seams();
 
   // --- Range-sync catch-up (requester side) ---
   /// Fold a peer's advertised frontier into the sync target and (re)issue a

@@ -268,12 +268,16 @@ ClusterBuilder& ClusterBuilder::wal_segment_bytes(std::size_t bytes) {
 }
 
 ClusterBuilder& ClusterBuilder::socket_backoff(runtime::Duration base,
-                                               runtime::Duration cap) {
+                                               runtime::Duration cap, double jitter) {
   if (base <= 0 || cap < base) {
     throw std::invalid_argument("ClusterBuilder: socket_backoff needs 0 < base <= cap");
   }
+  if (jitter < 0 || jitter > 1) {
+    throw std::invalid_argument("ClusterBuilder: socket_backoff jitter must be in [0, 1]");
+  }
   socket_backoff_base_ = base;
   socket_backoff_cap_ = cap;
+  socket_backoff_jitter_ = jitter;
   return *this;
 }
 ClusterBuilder& ClusterBuilder::socket_liveness(runtime::Duration ping_after,
@@ -382,6 +386,7 @@ runtime::SocketHostConfig ClusterBuilder::socket_host_config(
   hc.listen = std::move(listen);
   hc.backoff_base = socket_backoff_base_;
   hc.backoff_cap = socket_backoff_cap_;
+  hc.backoff_jitter = socket_backoff_jitter_;
   hc.ping_after = socket_ping_after_;
   hc.drop_after = socket_drop_after_;
   hc.max_queue = socket_queue_;

@@ -15,7 +15,10 @@ class LocalRunner::Context final : public Host {
 
   [[nodiscard]] NodeId id() const override { return id_; }
   [[nodiscard]] std::uint32_t n() const override { return runner_.node_count(); }
-  [[nodiscard]] Time now() const override { return runner_.now(); }
+  /// The node's *skewed* clock: protocol code never sees the real time.
+  [[nodiscard]] Time now() const override {
+    return runner_.node_now(runner_.nodes_[id_]);
+  }
 
   void send(NodeId dst, Payload payload) override {
     runner_.deliver(dst, id_, std::move(payload));
@@ -33,8 +36,11 @@ class LocalRunner::Context final : public Host {
   TimerId set_timer(Duration delay) override {
     TBFT_ASSERT(delay >= 0);
     // Owner-thread only: handlers (and post()ed functors) run on the node's
-    // thread, the only thread that touches this wheel.
-    return runner_.nodes_[id_].timers.arm(runner_.now() + delay);
+    // thread, the only thread that touches this wheel. Deadlines live in
+    // the node's skewed time domain -- run_node compares them against
+    // node_now and converts back to real time only to sleep.
+    NodeRt& rt = runner_.nodes_[id_];
+    return rt.timers.arm(runner_.node_now(rt) + delay);
   }
 
   void cancel_timer(TimerId id) override { runner_.nodes_[id_].timers.cancel(id); }
@@ -63,6 +69,30 @@ Time LocalRunner::now() const noexcept {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - epoch_)
       .count();
+}
+
+Time LocalRunner::node_now(const NodeRt& rt) const noexcept {
+  const Time real = now();
+  const Time skewed =
+      real + rt.skew_offset + static_cast<Time>(rt.drift * static_cast<double>(real));
+  // A clock never reads before its own boot: a negative offset would
+  // otherwise make pre-start state (mempool holds stamped 0) sit in the
+  // node's future and freeze batching until the skew wears off.
+  return skewed < 0 ? 0 : skewed;
+}
+
+Time LocalRunner::to_real(const NodeRt& rt, Time local) const noexcept {
+  const auto real =
+      static_cast<double>(local - rt.skew_offset) / (1.0 + rt.drift);
+  return real <= 0 ? 0 : static_cast<Time>(real);
+}
+
+void LocalRunner::set_clock_skew(NodeId node, Duration offset, double drift) {
+  TBFT_ASSERT_MSG(!started_, "set_clock_skew before start()");
+  TBFT_ASSERT_MSG(drift > -1.0, "drift must be > -1");
+  NodeRt& rt = nodes_.at(node);
+  rt.skew_offset = offset;
+  rt.drift = drift;
 }
 
 NodeId LocalRunner::add_node(std::unique_ptr<ProtocolNode> node) {
@@ -155,10 +185,11 @@ void LocalRunner::run_node(NodeRt& rt) {
     // able to suppress view changes here). The wheel is owner-thread
     // data; peeking it under the mailbox lock is fine (set/cancel also
     // run on this thread, never concurrently).
+    // Wheel deadlines are in the node's skewed clock domain (set_timer).
     const Time next = rt.timers.next_deadline();
-    if (next <= now()) {
+    if (next <= node_now(rt)) {
       fired.clear();
-      rt.timers.pop_due(now(), fired);
+      rt.timers.pop_due(node_now(rt), fired);
       lk.unlock();
       for (const TimerId id : fired) rt.node->on_timer(id);
       lk.lock();
@@ -184,7 +215,10 @@ void LocalRunner::run_node(NodeRt& rt) {
     if (next == kNever) {
       rt.cv.wait(lk, woken);
     } else {
-      rt.cv.wait_until(lk, epoch_ + std::chrono::microseconds(next), woken);
+      // Sleep in real time: invert the skew so a drifting clock's deadline
+      // still wakes at the right steady_clock instant.
+      rt.cv.wait_until(lk, epoch_ + std::chrono::microseconds(to_real(rt, next)),
+                       woken);
     }
   }
 }

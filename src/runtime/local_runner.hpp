@@ -65,6 +65,17 @@ class LocalRunner {
   /// Nodes must be added before start() in NodeId order (id = index).
   NodeId add_node(std::unique_ptr<ProtocolNode> node);
 
+  /// Skew `node`'s local clock: everything the node observes through its
+  /// Host -- now(), timer expiry -- runs at `real + offset + drift * real`,
+  /// a constant offset plus a slow linear drift (e.g. 1e-4 = 100 us/s, ppm
+  /// scale in real deployments). The protocol's timeouts are all relative
+  /// delays, so consensus must tolerate bounded skew; this knob is how the
+  /// threaded runner proves it. Call after add_node, before start().
+  /// `drift` must be > -1 (a clock that runs backwards is not a clock), and
+  /// the observed clock is floored at 0: a negative offset delays the
+  /// clock's start, it never reads before the node's boot.
+  void set_clock_skew(NodeId node, Duration offset, double drift = 0.0);
+
   /// Subscribe to every commit any node publishes. Must be called before
   /// start(). Callbacks run on node threads, serialized by the runner's
   /// commit mutex.
@@ -117,6 +128,11 @@ class LocalRunner {
     std::unique_ptr<MetricsRegistry> metrics;
     Rng rng{0};
 
+    /// Clock skew (set_clock_skew): the node's observed clock is
+    /// real + skew_offset + drift * real. Written before start() only.
+    Duration skew_offset{0};
+    double drift{0.0};
+
     std::mutex mx;
     std::condition_variable cv;
     std::vector<InboxEntry> inbox;  // guarded by mx
@@ -129,6 +145,11 @@ class LocalRunner {
 
     NodeRt() = default;
   };
+
+  /// `rt`'s skewed clock reading, and its inverse (skewed deadline -> real
+  /// steady-clock microseconds, for wait_until).
+  [[nodiscard]] Time node_now(const NodeRt& rt) const noexcept;
+  [[nodiscard]] Time to_real(const NodeRt& rt, Time local) const noexcept;
 
   void run_node(NodeRt& rt);
   void enqueue(NodeId dst, InboxEntry entry);

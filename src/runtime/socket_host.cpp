@@ -68,6 +68,18 @@ struct SocketHost::PeerState {
   Time next_dial{0};          // IO thread: earliest redial time
 };
 
+Duration jittered_backoff(std::uint32_t attempt, Duration base, Duration cap,
+                          double jitter_frac, Rng& rng) noexcept {
+  const Duration d = backoff_delay(attempt, base, cap);
+  if (jitter_frac <= 0 || d <= 0) return d;
+  const auto span = static_cast<Duration>(static_cast<double>(d) * jitter_frac);
+  if (span <= 0) return d;
+  const Duration lo = d - span / 2;
+  const auto offset =
+      static_cast<Duration>(rng.uniform(0, static_cast<std::uint64_t>(span)));
+  return lo + offset;
+}
+
 // ---- construction / lifecycle ----------------------------------------------
 
 SocketHost::SocketHost(SocketHostConfig cfg, std::unique_ptr<ProtocolNode> node)
@@ -81,6 +93,10 @@ SocketHost::SocketHost(SocketHostConfig cfg, std::unique_ptr<ProtocolNode> node)
   // id+1 times, keep the last.
   Rng root(cfg_.seed);
   for (NodeId i = 0; i <= cfg_.id; ++i) rng_ = root.fork();
+  // The IO thread's jitter stream is derived from a salted root, NOT forked
+  // from rng_: the node's stream must stay identical across all transports.
+  Rng io_root(mix64(cfg_.seed) ^ 0x696f'6a69'7474'6572ULL);
+  for (NodeId i = 0; i <= cfg_.id; ++i) io_rng_ = io_root.fork();
 
   std::string err;
   listener_ = net::tcp_listen(cfg_.listen, /*backlog=*/16, err);
@@ -286,7 +302,8 @@ void SocketHost::io_dial(NodeId peer) {
   net::Fd fd = net::tcp_dial(cfg_.peers[peer], in_progress, err);
   if (!fd.valid()) {
     ++p.attempts;
-    p.next_dial = now() + backoff_delay(p.attempts, cfg_.backoff_base, cfg_.backoff_cap);
+    p.next_dial = now() + jittered_backoff(p.attempts, cfg_.backoff_base,
+                                           cfg_.backoff_cap, cfg_.backoff_jitter, io_rng_);
     return;
   }
   auto c = std::make_unique<Conn>(std::move(fd));
@@ -563,8 +580,9 @@ void SocketHost::io_drop_conn(Conn& c, bool established_loss) {
       p.conn = nullptr;
       if (c.dialed) {
         ++p.attempts;
-        p.next_dial =
-            now() + backoff_delay(p.attempts, cfg_.backoff_base, cfg_.backoff_cap);
+        p.next_dial = now() + jittered_backoff(p.attempts, cfg_.backoff_base,
+                                               cfg_.backoff_cap, cfg_.backoff_jitter,
+                                               io_rng_);
       }
     }
     if (c.cur_valid) {

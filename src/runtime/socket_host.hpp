@@ -92,6 +92,10 @@ struct SocketHostConfig {
 
   Duration backoff_base{10 * kMillisecond};  ///< first redial delay
   Duration backoff_cap{1 * kSecond};         ///< redial delay ceiling
+  /// Fraction of each redial delay spread (seeded, uniform, mean-preserving)
+  /// around the deterministic value: decorrelates reconnect storms when a
+  /// restarted peer faces the whole cluster's dialers at once. 0 = none.
+  double backoff_jitter{0.1};
   Duration ping_after{500 * kMillisecond};   ///< rx silence before a kPing
   Duration drop_after{2 * kSecond};          ///< rx silence before dropping
   std::size_t max_queue{4096};               ///< outbound payloads per peer
@@ -129,6 +133,13 @@ struct NetStats {
   }
   return base < cap ? base : cap;
 }
+
+/// backoff_delay with a mean-preserving uniform spread of `jitter_frac`
+/// around it, drawn from `rng`: delay in [d - s/2, d + s/2] for
+/// s = d * jitter_frac. Pure given the Rng state, so the jittered policy
+/// stays unit-testable and a seeded run stays reproducible.
+[[nodiscard]] Duration jittered_backoff(std::uint32_t attempt, Duration base, Duration cap,
+                                        double jitter_frac, Rng& rng) noexcept;
 
 class SocketHost final : public Host {
  public:
@@ -222,7 +233,9 @@ class SocketHost final : public Host {
   std::unique_ptr<ProtocolNode> node_;
   std::chrono::steady_clock::time_point epoch_;
   MetricsRegistry metrics_;
-  Rng rng_{0};
+  Rng rng_{0};     // node-thread only (ProtocolNode::ctx().rng())
+  Rng io_rng_{0};  // IO-thread only: backoff jitter; derived independently of
+                   // rng_ so the node's stream matches the other transports
   NetStats stats_;
 
   net::Fd listener_;

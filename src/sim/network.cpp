@@ -1,10 +1,54 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/assert.hpp"
 
 namespace tbft::sim {
+
+WanTopology WanTopology::geo(const std::vector<std::uint32_t>& region_of,
+                             const std::vector<std::vector<LinkProfile>>& inter,
+                             LinkProfile intra) {
+  const auto n = static_cast<std::uint32_t>(region_of.size());
+  WanTopology topo(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const std::uint32_t ra = region_of[a];
+      const std::uint32_t rb = region_of[b];
+      topo.link(a, b) = ra == rb ? intra : inter.at(ra).at(rb);
+    }
+  }
+  return topo;
+}
+
+void Network::set_topology(WanTopology topo) {
+  topo_ = std::move(topo);
+  link_busy_.assign(static_cast<std::size_t>(topo_.n()) * topo_.n(), 0);
+}
+
+SimTime Network::shaped_delivery(const Envelope& env, SimTime send_time) {
+  // The const accessor: it bounds-checks and falls back to default_link for
+  // out-of-table actors (clients); the mutable overload indexes blindly.
+  const LinkProfile& l = std::as_const(topo_).link(env.src, env.dst);
+  SimTime depart = send_time;
+  if (l.bandwidth_bytes_per_sec > 0 && env.src < topo_.n() && env.dst < topo_.n()) {
+    // Serialization keeps the link busy; a backlog queues behind it. The
+    // cursor never goes backwards, so per-link FIFO order is preserved.
+    const auto serialization = static_cast<SimTime>(
+        (static_cast<std::uint64_t>(env.payload.size()) * kSecond +
+         l.bandwidth_bytes_per_sec - 1) /
+        l.bandwidth_bytes_per_sec);
+    SimTime& busy = link_busy_[static_cast<std::size_t>(env.src) * topo_.n() + env.dst];
+    depart = std::max(send_time, busy) + serialization;
+    busy = depart;
+  }
+  SimTime extra = l.jitter > 0 ? static_cast<SimTime>(rng_.uniform(
+                                     0, static_cast<std::uint64_t>(l.jitter)))
+                               : 0;
+  return depart + l.latency + extra;
+}
 
 SimTime Network::draw_post_gst_delay() {
   switch (cfg_.model) {
@@ -37,6 +81,12 @@ std::optional<SimTime> Network::schedule(const Envelope& env, SimTime send_time)
   }
 
   if (post_gst) {
+    if (!topo_.empty()) {
+      // WAN shape, clamped so partial synchrony survives saturation: a
+      // backlogged or long link degrades to exactly-Delta delivery, never
+      // worse (the timeouts' model assumption).
+      return std::min(shaped_delivery(env, send_time), send_time + cfg_.delta_bound);
+    }
     const SimTime delay = std::min(draw_post_gst_delay(), cfg_.delta_bound);
     return send_time + delay;
   }

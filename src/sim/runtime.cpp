@@ -70,6 +70,7 @@ NodeId Simulation::add_node(std::unique_ptr<ProtocolNode> node) {
   }
   const auto id = static_cast<NodeId>(nodes_.size());
   contexts_.push_back(std::make_unique<Context>(*this, id, rng_.fork()));
+  status_.push_back(ActorStatus{});
   node->bind(*contexts_.back());
   nodes_.push_back(std::move(node));
   return id;
@@ -79,6 +80,7 @@ NodeId Simulation::add_client(std::unique_ptr<ProtocolNode> client) {
   TBFT_ASSERT_MSG(!started_, "cannot add clients after start()");
   const auto id = static_cast<NodeId>(nodes_.size() + clients_.size());
   contexts_.push_back(std::make_unique<Context>(*this, id, rng_.fork()));
+  status_.push_back(ActorStatus{});
   client->bind(*contexts_.back());
   clients_.push_back(std::move(client));
   return id;
@@ -96,6 +98,26 @@ void Simulation::start() {
   for (auto& client : clients_) client->on_start();
 }
 
+void Simulation::crash_node(NodeId id) {
+  TBFT_ASSERT_MSG(id < nodes_.size(), "crash_node: not a protocol node");
+  ActorStatus& st = status_[id];
+  TBFT_ASSERT_MSG(!st.crashed, "crash_node: already crashed");
+  st.crashed = true;
+  ++st.incarnation;  // pending timers belong to the dead life now
+  metrics_.counter("sim.churn.crashes").add();
+}
+
+void Simulation::restart_node(NodeId id, std::unique_ptr<ProtocolNode> fresh) {
+  TBFT_ASSERT_MSG(id < nodes_.size(), "restart_node: not a protocol node");
+  ActorStatus& st = status_[id];
+  TBFT_ASSERT_MSG(st.crashed, "restart_node: node is not crashed");
+  st.crashed = false;
+  fresh->bind(*contexts_[id]);
+  nodes_[id] = std::move(fresh);
+  metrics_.counter("sim.churn.restarts").add();
+  if (started_) nodes_[id]->on_start();
+}
+
 TimerId Simulation::arm_timer(NodeId node, SimTime delay) {
   std::uint32_t slot;
   if (!free_timer_slots_.empty()) {
@@ -107,6 +129,8 @@ TimerId Simulation::arm_timer(NodeId node, SimTime delay) {
   }
   TimerSlot& ts = timer_slots_[slot];
   ts.armed = true;
+  ts.owner = node;
+  ts.owner_incarnation = status_[node].incarnation;
   const TimerId tid = make_timer_id(slot, ts.generation);
   queue_.schedule_timer(queue_.now() + delay, node, tid);
   return tid;
@@ -131,6 +155,8 @@ void Simulation::on_timer_event(NodeId node, TimerId id) {
   ts.armed = false;
   ++ts.generation;
   free_timer_slots_.push_back(slot);
+  // A timer armed by a crashed (or since-restarted) life dies with it.
+  if (ts.owner_incarnation != status_[node].incarnation || status_[node].crashed) return;
   actor(node).on_timer(id);
 }
 
@@ -168,6 +194,10 @@ void Simulation::dispatch_send(NodeId src, NodeId dst, Payload payload) {
 }
 
 void Simulation::on_deliver_event(NodeId src, NodeId dst, const Payload& payload) {
+  // A crashed node's inbox is a void: messages arriving while it is down are
+  // lost for good (a restart does not replay them), like a dead process's
+  // sockets.
+  if (status_[dst].crashed) return;
   actor(dst).on_message(src, payload);
 }
 

@@ -76,6 +76,19 @@ class Simulation final : public EventSink {
   /// Calls on_start on every node (at time 0 unless the clock advanced).
   void start();
 
+  // --- Node churn (chaos harness) -------------------------------------------
+  /// Crash a protocol node mid-run: its pending timers die with it (stale
+  /// incarnation), deliveries addressed to it are dropped while it is down,
+  /// and no event reaches the dead instance again. Call between events
+  /// (outside handlers), while running.
+  void crash_node(NodeId id);
+  /// Replace a crashed node with a fresh instance bound to the same id and
+  /// context (typically rebuilt through the src/storage/ recovery path),
+  /// then run its on_start. Deliveries resume; messages sent while it was
+  /// down stay lost, like a rebooted process's sockets.
+  void restart_node(NodeId id, std::unique_ptr<ProtocolNode> fresh);
+  [[nodiscard]] bool is_crashed(NodeId id) const { return status_.at(id).crashed; }
+
   void run_until(SimTime deadline);
   /// Run until `pred()` holds, checking after each event; returns true if the
   /// predicate held before `deadline`.
@@ -124,6 +137,18 @@ class Simulation final : public EventSink {
   struct TimerSlot {
     std::uint32_t generation{0};
     bool armed{false};
+    /// Who armed it, in which life: a crash bumps the owner's incarnation,
+    /// so timers armed by a dead instance are filtered on firing and never
+    /// reach its replacement.
+    NodeId owner{0};
+    std::uint32_t owner_incarnation{0};
+  };
+
+  /// Liveness bookkeeping per actor (protocol nodes and clients share the
+  /// id space; churn only ever targets protocol nodes).
+  struct ActorStatus {
+    bool crashed{false};
+    std::uint32_t incarnation{0};
   };
 
   void dispatch_send(NodeId src, NodeId dst, Payload payload);
@@ -153,6 +178,7 @@ class Simulation final : public EventSink {
   std::vector<std::unique_ptr<ProtocolNode>> nodes_;
   std::vector<std::unique_ptr<ProtocolNode>> clients_;
   std::vector<std::unique_ptr<Context>> contexts_;
+  std::vector<ActorStatus> status_;
   std::vector<runtime::CommitSink*> commit_sinks_;
   std::vector<TimerSlot> timer_slots_;
   std::vector<std::uint32_t> free_timer_slots_;

@@ -354,8 +354,11 @@ class ClusterBuilder {
   ClusterBuilder& wal_segment_bytes(std::size_t bytes);
 
   /// Socket transport: redial backoff after a lost connection (first delay,
-  /// exponential, saturating at `cap`).
-  ClusterBuilder& socket_backoff(runtime::Duration base, runtime::Duration cap);
+  /// exponential, saturating at `cap`), with a seeded mean-preserving
+  /// `jitter` fraction spread around each delay (0 = deterministic,
+  /// must be <= 1).
+  ClusterBuilder& socket_backoff(runtime::Duration base, runtime::Duration cap,
+                                 double jitter = 0.1);
   /// Socket transport: send a ping after `ping_after` of rx silence; drop a
   /// connection silent for `drop_after` (half-open detection).
   ClusterBuilder& socket_liveness(runtime::Duration ping_after,
@@ -403,6 +406,7 @@ class ClusterBuilder {
   std::size_t wal_segment_bytes_{storage::DurableOptions{}.segment_bytes};
   runtime::Duration socket_backoff_base_{10 * runtime::kMillisecond};
   runtime::Duration socket_backoff_cap_{1 * runtime::kSecond};
+  double socket_backoff_jitter_{0.1};
   runtime::Duration socket_ping_after_{500 * runtime::kMillisecond};
   runtime::Duration socket_drop_after_{2 * runtime::kSecond};
   std::size_t socket_queue_{4096};

@@ -110,6 +110,30 @@ TEST(Chain, HigherViewNotarizationOverridesLower) {
   EXPECT_EQ(c.notarized(1)->hash, v1.hash());
 }
 
+TEST(Chain, AdoptParentNotarizationHealsEqualViewSeam) {
+  // An equivocator splits one view's votes: slot 1 notarizes twin A while
+  // slot 2 notarizes a block built on twin B -- at the same view, so the
+  // plain notarize() override never fires and the parent link stays broken.
+  // adopt_parent_notarization (the pipelined-vote inference) accepts an
+  // equal view and repairs the seam; a lower view still never rolls back.
+  ChainStore c;
+  Block twin_a = mk(1, kGenesisHash, 0);
+  Block twin_b = mk(1, kGenesisHash, 1);
+  Block child = mk(2, twin_b.hash(), 2);
+  for (const auto& b : {twin_a, twin_b, child}) c.add_block(b);
+  EXPECT_TRUE(c.notarize(1, 6, twin_a.hash()));
+  EXPECT_TRUE(c.notarize(2, 6, child.hash()));
+  EXPECT_EQ(c.notarized_suffix_length(), 1u);  // seam: child links to twin B
+
+  EXPECT_FALSE(c.adopt_parent_notarization(1, 5, twin_b.hash()));  // lower view
+  EXPECT_EQ(c.notarized(1)->hash, twin_a.hash());
+  EXPECT_TRUE(c.adopt_parent_notarization(1, 6, twin_b.hash()));  // equal view
+  EXPECT_EQ(c.notarized(1)->hash, twin_b.hash());
+  EXPECT_EQ(c.notarized_suffix_length(), 2u);  // the chain links up again
+  // Re-adoption of the same hash is a no-op (no flip-flop fuel).
+  EXPECT_FALSE(c.adopt_parent_notarization(1, 6, twin_b.hash()));
+}
+
 TEST(Chain, MixedViewNotarizationsStillFinalize) {
   // Fig. 3: slots re-run at view 1 chain together with a view-0 slot.
   ChainStore c;

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "checker/explorer.hpp"
+#include "checker/sync_spec.hpp"
 
 namespace tbft::checker {
 namespace {
@@ -217,6 +220,51 @@ TEST(CheckerExhaustive, SevenNodesTwoByzSmallBounds) {
   cfg.values = 2;
   const auto res = explore_bfs(Spec(cfg), 2'000'000);
   EXPECT_FALSE(res.violation) << res.violated_property;
+}
+
+// --- Catch-up path specs (sync_spec.hpp) ------------------------------------
+
+TEST(SyncSpec, AdoptionAtFPlusOneIsSafeExhaustively) {
+  // n = 4 / f = 1 and n = 7 / f = 2, Byzantine budget saturated: every
+  // claim interleaving, the laggard only ever adopts the ground truth.
+  for (const auto [n, f] : {std::pair{4, 1}, std::pair{7, 2}}) {
+    SyncSpecConfig cfg;
+    cfg.n = n;
+    cfg.f = f;
+    cfg.byz = f;
+    const auto res = explore_sync(cfg);
+    EXPECT_TRUE(res.exhaustive_ok()) << "n=" << n << ": " << res.violated_property;
+    EXPECT_GT(res.states, 1u);
+  }
+}
+
+TEST(SyncSpec, BlockingOffByOneLetsByzantinesForgeASlot) {
+  // Threshold f instead of f+1: the f wildcards alone clear it and the
+  // laggard adopts a block that never existed.
+  SyncSpecConfig cfg;
+  cfg.byz = cfg.f;
+  cfg.mutation = SyncSpecConfig::Mutation::BlockingOffByOne;
+  const auto res = explore_sync(cfg);
+  EXPECT_TRUE(res.violation);
+  EXPECT_EQ(res.violated_property, "AdoptedIsTruth");
+}
+
+TEST(ForwardSpec, PendingProbeKeepsCommitsExactlyOnce) {
+  const auto res = explore_forward(ForwardSpecConfig{});
+  EXPECT_TRUE(res.exhaustive_ok()) << res.violated_property;
+  EXPECT_GT(res.states, 1u);
+}
+
+TEST(ForwardSpec, DroppingThePendingProbeDoubleCommits) {
+  // The exact race the chaos fuzzer surfaced (seeds 205/362 pre-fix): the
+  // origin's hold expires while the leader's candidate is still pending;
+  // without the tx_in_pending_candidate probe it re-batches, and both
+  // candidates commit.
+  ForwardSpecConfig cfg;
+  cfg.mutation = ForwardSpecConfig::Mutation::NoPendingProbe;
+  const auto res = explore_forward(cfg);
+  EXPECT_TRUE(res.violation);
+  EXPECT_EQ(res.violated_property, "AtMostOneCommit");
 }
 
 }  // namespace

@@ -104,6 +104,41 @@ TEST(LocalRunner, CommitsIdenticalChainToSimulation) {
   }
 }
 
+// Clock skew (chaos satellite): nodes observing offset + drifting clocks --
+// ppm-scale drift and tens-of-ms offsets, well inside the 9-Delta timeout
+// headroom -- must still commit every transaction and stay prefix-consistent.
+// The protocol only ever uses *relative* delays, so bounded skew shifts
+// timers without breaking consensus; this is the threaded-runner proof.
+TEST(LocalRunner, ClockSkewedNodesStayConsistentAndLive) {
+  auto local = equivalence_builder().build_local();
+  local->runner().set_clock_skew(1, 50 * kMillisecond, 0.0);
+  local->runner().set_clock_skew(2, -30 * kMillisecond, 1e-4);
+  local->runner().set_clock_skew(3, 0, -1e-4);
+
+  std::map<NodeId, std::uint64_t> last_stream;
+  local->on_commit([&](const runtime::Commit& c) { last_stream[c.node] = c.stream; });
+  for (std::uint32_t j = 0; j < kTxCount; ++j) {
+    local->node(j % kNodes).submit(tx_bytes(j));
+  }
+  local->start();
+  const bool all_done = local->wait_for(
+      [&] {
+        if (last_stream.size() < kNodes) return false;
+        return std::all_of(last_stream.begin(), last_stream.end(),
+                           [](const auto& kv) { return kv.second >= kTxCount; });
+      },
+      120 * kSecond);
+  local->stop();
+  ASSERT_TRUE(all_done) << "skewed cluster did not finalize all slots in time";
+
+  std::vector<multishot::MultishotNode*> chains;
+  for (NodeId i = 0; i < kNodes; ++i) chains.push_back(&local->replica(i));
+  EXPECT_TRUE(multishot::chains_prefix_consistent(chains));
+  for (std::uint32_t j = 0; j < kTxCount; ++j) {
+    EXPECT_TRUE(local->replica(0).tx_finalized(tx_bytes(j))) << "lost tx " << j;
+  }
+}
+
 TEST(LocalRunner, StopIsIdempotentAndStopsQuiescentCluster) {
   auto local = equivalence_builder().build_local();
   local->node(0).submit(tx_bytes(0));

@@ -220,6 +220,23 @@ TEST(MsMessages, ForwardTxRoundtripAndEmptyRejected) {
   EXPECT_FALSE(decode_ms(bytes).has_value());
 }
 
+TEST(MsMessages, BlockRequestRoundtripAndSlotZeroRejected) {
+  const MsBlockRequest m{6, 0xFEEDFACE12345678ULL};
+  EXPECT_EQ(roundtrip(m), m);
+  auto bytes = encode_ms(MsMessage{MsBlockRequest{1, 42}});
+  for (int i = 1; i <= 8; ++i) bytes[i] = 0;
+  EXPECT_FALSE(decode_ms(bytes).has_value());
+}
+
+TEST(MsMessages, BlockReplyRoundtripAndSlotMismatchRejected) {
+  const MsBlockReply m{3, sample_block(3)};
+  EXPECT_EQ(roundtrip(m), m);
+  // The envelope slot must match the block's own slot (content-addressed
+  // recovery never relabels blocks).
+  const auto bytes = encode_ms(MsMessage{MsBlockReply{4, sample_block(3)}});
+  EXPECT_FALSE(decode_ms(bytes).has_value());
+}
+
 TEST(MsMessages, SlotZeroRejected) {
   auto bytes = encode_ms(MsMessage{MsVote{1, 0, 5}});
   // slot is the first u64 after the tag; zero it.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/adversary.hpp"
 
 namespace tbft::sim {
@@ -129,6 +131,113 @@ TEST(Network, SelectiveDropByTagAndVictim) {
   EXPECT_FALSE(net.schedule(tagged, 0).has_value());
   EXPECT_TRUE(net.schedule(other_tag, 0).has_value());
   EXPECT_TRUE(net.schedule(other_dst, 0).has_value());
+}
+
+// --- WAN-shaped links (WanTopology) -----------------------------------------
+
+TEST(Network, WanShapedConstantLatencyPerLink) {
+  NetworkConfig cfg;
+  cfg.gst = 0;
+  cfg.delta_bound = 100000;
+  Network net(cfg, Rng(11));
+  WanTopology topo = WanTopology::uniform(4, LinkProfile{.latency = 7, .jitter = 0});
+  topo.link(2, 3).latency = 42;  // one slow directed link
+  net.set_topology(topo);
+  EXPECT_EQ(net.schedule(env(0, 1), 1000), 1007);
+  EXPECT_EQ(net.schedule(env(2, 3), 1000), 1042);
+  EXPECT_EQ(net.schedule(env(3, 2), 1000), 1007);  // asymmetric by construction
+}
+
+TEST(Network, WanGeoAsymmetricRegions) {
+  // Two regions; the 0->1 route is slower than the 1->0 route (asymmetric
+  // inter matrix), intra-region links are fast.
+  const LinkProfile intra{.latency = 1, .jitter = 0};
+  std::vector<std::vector<LinkProfile>> inter(2, std::vector<LinkProfile>(2));
+  inter[0][1] = LinkProfile{.latency = 20, .jitter = 0};
+  inter[1][0] = LinkProfile{.latency = 5, .jitter = 0};
+  WanTopology topo = WanTopology::geo({0, 0, 1, 1}, inter, intra);
+
+  NetworkConfig cfg;
+  cfg.gst = 0;
+  cfg.delta_bound = 100000;
+  Network net(cfg, Rng(12));
+  net.set_topology(topo);
+  EXPECT_EQ(net.schedule(env(0, 1), 0), 1);   // intra region 0
+  EXPECT_EQ(net.schedule(env(2, 3), 0), 1);   // intra region 1
+  EXPECT_EQ(net.schedule(env(0, 2), 0), 20);  // region 0 -> 1
+  EXPECT_EQ(net.schedule(env(2, 0), 0), 5);   // region 1 -> 0
+}
+
+TEST(Network, WanJitterBoundedAndVaries) {
+  NetworkConfig cfg;
+  cfg.gst = 0;
+  cfg.delta_bound = 100000;
+  Network net(cfg, Rng(13));
+  net.set_topology(WanTopology::uniform(2, LinkProfile{.latency = 5, .jitter = 10}));
+  SimTime lo = 100000;
+  SimTime hi = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto at = net.schedule(env(0, 1), 0);
+    ASSERT_TRUE(at.has_value());
+    EXPECT_GE(*at, 5);
+    EXPECT_LE(*at, 15);
+    lo = std::min(lo, *at);
+    hi = std::max(hi, *at);
+  }
+  EXPECT_LT(lo, hi);  // the jitter draw actually spreads deliveries
+}
+
+TEST(Network, WanShapeClampedToDeltaBound) {
+  NetworkConfig cfg;
+  cfg.gst = 0;
+  cfg.delta_bound = 100;
+  Network net(cfg, Rng(14));
+  net.set_topology(WanTopology::uniform(2, LinkProfile{.latency = 5000, .jitter = 0}));
+  // A link longer than Delta degrades to exactly-Delta delivery: partial
+  // synchrony survives any shape.
+  EXPECT_EQ(net.schedule(env(0, 1), 1000), 1100);
+}
+
+TEST(Network, WanBandwidthSerializesBackToBack) {
+  NetworkConfig cfg;
+  cfg.gst = 0;
+  cfg.delta_bound = 1000000;
+  Network net(cfg, Rng(15));
+  // 3-byte payloads at 3000 bytes/s: 1 ms serialization each.
+  net.set_topology(WanTopology::uniform(
+      2, LinkProfile{.latency = 10, .jitter = 0, .bandwidth_bytes_per_sec = 3000}));
+  const SimTime ser = (3 * kSecond + 2999) / 3000;
+  // Two messages sent at the same instant queue FIFO on the link: the second
+  // serializes behind the first.
+  EXPECT_EQ(net.schedule(env(0, 1), 0), ser + 10);
+  EXPECT_EQ(net.schedule(env(0, 1), 0), 2 * ser + 10);
+  // The reverse direction has its own cursor.
+  EXPECT_EQ(net.schedule(env(1, 0), 0), ser + 10);
+}
+
+TEST(Network, WanDefaultLinkCoversOutOfTableActors) {
+  NetworkConfig cfg;
+  cfg.gst = 0;
+  cfg.delta_bound = 100000;
+  Network net(cfg, Rng(16));
+  WanTopology topo = WanTopology::uniform(2, LinkProfile{.latency = 3, .jitter = 0});
+  topo.default_link = LinkProfile{.latency = 17, .jitter = 0};
+  net.set_topology(topo);
+  // A client actor beyond the n-node table takes the default profile.
+  EXPECT_EQ(net.schedule(env(9, 0), 0), 17);
+  EXPECT_EQ(net.schedule(env(0, 1), 0), 3);
+}
+
+TEST(Network, WanMaxLatencyPlusJitter) {
+  // default_link participates: client actors beyond the table ride it, so
+  // the delta_bound floor must cover it too.
+  WanTopology topo = WanTopology::uniform(3, LinkProfile{.latency = 4, .jitter = 2});
+  topo.default_link = LinkProfile{.latency = 1, .jitter = 0};
+  EXPECT_EQ(topo.max_latency_plus_jitter(), 6);
+  topo.link(1, 2) = LinkProfile{.latency = 30, .jitter = 5};
+  EXPECT_EQ(topo.max_latency_plus_jitter(), 35);
+  topo.default_link = LinkProfile{.latency = 40, .jitter = 1};
+  EXPECT_EQ(topo.max_latency_plus_jitter(), 41);
 }
 
 }  // namespace

@@ -204,6 +204,39 @@ TEST(SocketHost, BackoffDelayGrowsExponentiallyAndSaturatesAtCap) {
   EXPECT_EQ(backoff_delay(0, 0, cap), 0);  // degenerate base clamps safely
 }
 
+TEST(SocketHost, JitteredBackoffStaysInsideTheSpreadAndIsSeeded) {
+  const Duration base = 10 * kMillisecond;
+  const Duration cap = 1 * kSecond;
+  // Bounds: each draw lands in [d - d*f/2, d + d*f/2] around the
+  // deterministic delay d, and the draws actually spread.
+  for (const std::uint32_t attempt : {0u, 1u, 3u, 7u}) {
+    const Duration d = backoff_delay(attempt, base, cap);
+    const Duration span = static_cast<Duration>(static_cast<double>(d) * 0.5);
+    Rng rng(99);
+    Duration lo = cap * 2;
+    Duration hi = 0;
+    for (int i = 0; i < 200; ++i) {
+      const Duration j = jittered_backoff(attempt, base, cap, 0.5, rng);
+      EXPECT_GE(j, d - span / 2 - 1) << "attempt " << attempt;
+      EXPECT_LE(j, d + span / 2 + 1) << "attempt " << attempt;
+      lo = std::min(lo, j);
+      hi = std::max(hi, j);
+    }
+    EXPECT_LT(lo, hi) << "attempt " << attempt;  // not a constant
+  }
+  // Determinism: equal Rng state yields the identical sequence (the seeded
+  // transport stays reproducible).
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(jittered_backoff(2, base, cap, 0.25, a),
+              jittered_backoff(2, base, cap, 0.25, b));
+  }
+  // Zero jitter degrades to the pure policy.
+  Rng c(1);
+  EXPECT_EQ(jittered_backoff(3, base, cap, 0.0, c), backoff_delay(3, base, cap));
+}
+
 // ---- two real hosts --------------------------------------------------------
 
 TEST(SocketHost, PairHandshakesAndDeliversBothDirections) {
