@@ -91,6 +91,8 @@ ChaosVerdict run_plan(const ScenarioPlan& plan, const fs::path& work_dir) {
   node_cfg.max_batch_txs = 32;
   node_cfg.max_batch_bytes = 4096;
   node_cfg.mempool_capacity = 4096;
+  node_cfg.pipeline_depth = plan.pipeline_depth;
+  node_cfg.adaptive_batch_txs = plan.adaptive_batch_txs;
 
   ChaosVerdict v;
 

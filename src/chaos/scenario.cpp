@@ -185,6 +185,17 @@ ScenarioPlan draw_plan(std::uint64_t seed) {
       cursor += down + draw_time(rng, view_timeout / 2, view_timeout);
     }
   }
+
+  // --- Pipelining & adaptive batching. APPENDED draws: every knob above
+  // keeps its historical value for a given seed (reproducer stability).
+  // Roughly half the plan space runs pipelined leaders; adaptive batching
+  // rides along on a second coin (the engine's base tx cap is 32).
+  if (rng.bernoulli(0.5)) {
+    p.pipeline_depth = static_cast<std::uint32_t>(rng.uniform(2, 8));
+    if (rng.bernoulli(0.5)) {
+      p.adaptive_batch_txs = static_cast<std::uint32_t>(rng.uniform(64, 512));
+    }
+  }
   return p;
 }
 
@@ -202,12 +213,12 @@ std::string ScenarioPlan::describe() const {
   if (byz.empty()) byz = "none";
   std::snprintf(buf, sizeof buf,
                 "seed=%llu n=%u f=%u wan=%s delta=%lldms load=%s clients=%u "
-                "dur=%lldms byz=[%s] churn=%zu",
+                "dur=%lldms byz=[%s] churn=%zu depth=%u adaptive=%u",
                 static_cast<unsigned long long>(seed), n, f, wan_shape_name(wan),
                 static_cast<long long>(delta_bound / kMillisecond),
                 load_shape_name(load), clients,
                 static_cast<long long>(load_duration / kMillisecond), byz.c_str(),
-                churn.size());
+                churn.size(), pipeline_depth, adaptive_batch_txs);
   return buf;
 }
 

@@ -190,6 +190,19 @@ bool ChainStore::tx_in_pending_candidate(std::uint64_t hash,
   return found;
 }
 
+std::vector<std::span<const std::uint8_t>> ChainStore::pending_candidate_frames() const {
+  std::vector<std::span<const std::uint8_t>> frames;
+  window_.for_each([&](Slot s, const SlotEntry& e) {
+    if (is_finalized(s)) return;
+    for (std::size_t i = 0; i < e.used; ++i) {
+      const Candidate& c = e.candidates[i];
+      if (!c.has_txs) continue;
+      for (const auto f : payload_frames(c.block.payload)) frames.push_back(f);
+    }
+  });
+  return frames;
+}
+
 void ChainStore::prune_finalized() { window_.advance_base(first_unfinalized()); }
 
 void ChainStore::restore_state(const Checkpoint& cp,

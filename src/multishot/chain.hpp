@@ -116,6 +116,11 @@ class ChainStore {
                                  std::uint64_t hash) const {
     return store_.commit_slot(tx, hash);
   }
+  /// Exactly-once delivery probe: committed at a slot strictly below `before`.
+  [[nodiscard]] bool committed_before(std::span<const std::uint8_t> tx,
+                                      std::uint64_t hash, Slot before) const {
+    return store_.committed_before(tx, hash, before);
+  }
   [[nodiscard]] const FinalizedStore& finalized() const noexcept { return store_; }
 
   [[nodiscard]] Slot first_unfinalized() const noexcept { return store_.tip() + 1; }
@@ -148,6 +153,12 @@ class ChainStore {
   /// re-batching the local copy now could commit the same bytes twice.
   [[nodiscard]] bool tx_in_pending_candidate(std::uint64_t hash,
                                              std::span<const std::uint8_t> tx) const;
+
+  /// Frames of every locally stored candidate of every unfinalized slot
+  /// (spans borrow the candidates' payload storage -- valid until the next
+  /// mutation). Bulk form of tx_in_pending_candidate for probing many
+  /// entries against one snapshot.
+  [[nodiscard]] std::vector<std::span<const std::uint8_t>> pending_candidate_frames() const;
 
   /// Window slabs ever allocated == peak unfinalized-slot occupancy
   /// (bounded-storage regression tests).

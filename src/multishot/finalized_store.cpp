@@ -57,6 +57,26 @@ Slot FinalizedStore::commit_slot(std::span<const std::uint8_t> tx,
   return found;
 }
 
+bool FinalizedStore::committed_before(std::span<const std::uint8_t> tx,
+                                      std::uint64_t hash, Slot before) const {
+  bool found = false;
+  index_.find(hash, [&](Slot s) {
+    if (s >= before) return false;
+    if (const Block* b = block_at(s); b != nullptr) {
+      // Resident slot: confirm the bytes (collisions keep probing).
+      bool match = false;
+      for_each_frame(b->payload, [&](std::span<const std::uint8_t> f) {
+        match = match || (f.size() == tx.size() &&
+                          std::equal(f.begin(), f.end(), tx.begin()));
+      });
+      if (!match) return false;
+    }
+    found = true;
+    return true;
+  });
+  return found;
+}
+
 std::optional<Checkpoint> FinalizedStore::checkpoint_at(Slot s) const {
   if (s < checkpoint_.slot || s > tip_) return std::nullopt;
   Checkpoint cp = checkpoint_;

@@ -431,6 +431,13 @@ class FinalizedStore {
   [[nodiscard]] Slot commit_slot(std::span<const std::uint8_t> tx,
                                  std::uint64_t hash) const;
 
+  /// True when `tx` is committed at some slot strictly below `before`.
+  /// Exactly-once delivery probe: a frame finalizing at `before` that is
+  /// already committed earlier is a duplicate inclusion and is filtered out
+  /// of delivery (the index holds both slots once `before` is appended).
+  [[nodiscard]] bool committed_before(std::span<const std::uint8_t> tx,
+                                      std::uint64_t hash, Slot before) const;
+
   [[nodiscard]] const CommitIndex& commit_index() const noexcept { return index_; }
 
   // --- durability & state transfer ---------------------------------------

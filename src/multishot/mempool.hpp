@@ -38,6 +38,10 @@ class BoundedMempool {
     /// was forwarded to the frontier leader (the relay owns it; the local
     /// copy is the fallback should the relay fail). 0 = batchable now.
     runtime::Time hold_until{0};
+    /// Admitted via MsForwardTx: the origin keeps a fallback copy, so this
+    /// entry has a twin elsewhere and must pass the build_batch dedup probes
+    /// (commit index + pending candidates) before riding a proposal.
+    bool relayed{false};
   };
 
   /// Outcome of an admission attempt.

@@ -138,14 +138,15 @@ bool MultishotNode::submit_tx(std::vector<std::uint8_t> tx) {
 
 void MultishotNode::forward_if_foreign_leader(BoundedMempool::Entry& e) {
   if (!cfg_.forward_to_leader) return;
-  // Only relay into a suppressed (parked) chain -- that is the case the
-  // relay exists for: resuming an idle chain in ~1 delta instead of the
-  // ~9 delta view-change rotation. Under load the pipeline is already
-  // moving and the submitter's own batching path includes the request;
-  // relaying then would put the same bytes in two pools whose inclusion
-  // races the hold window below (a double-commit risk the single-pool
-  // loaded path never has).
-  if (cfg_.max_slots != 0 || !idle_suppressed_) return;
+  // Relay both into a suppressed (parked) chain -- resuming an idle chain in
+  // ~1 delta instead of the ~9 delta view-change rotation -- and under load,
+  // where the frontier leader batches the request into its next proposal
+  // instead of the bytes waiting up to n * pipeline_depth slots for the
+  // submitter's own stripe. The loaded path was once disabled over a
+  // double-commit race between the two pools' inclusion; that window is
+  // closed by the hold below plus the commit-index and pending-candidate
+  // probes in build_batch (verified by the ForwardSpec checker).
+  if (cfg_.max_slots != 0) return;
   const Slot frontier = proposal_frontier();
   const NodeId leader = cfg_.leader_of(frontier, view_of(frontier));
   if (leader == ctx().id()) return;
@@ -266,32 +267,73 @@ bool MultishotNode::idle_quiescent() const {
 }
 
 MultishotNode::BatchDraft MultishotNode::build_batch(View view) {
+  // Adaptive control law (DESIGN_PERF.md "Slot pipelining & adaptive
+  // batching"): the effective caps start at the configured base and, under
+  // backlog, grow toward the adaptive ceiling -- the backlog is spread
+  // across this node's in-flight led slots (a deeper pipeline drains it over
+  // more proposals), and the byte budget scales in proportion so the
+  // transaction headroom is actually reachable. A pool at or below the base
+  // cap keeps today's caps exactly.
+  std::uint32_t cap_txs = cfg_.max_batch_txs;
+  std::uint64_t cap_bytes = cfg_.max_batch_bytes;
+  if (cfg_.adaptive_batch_txs > cfg_.max_batch_txs) {
+    const std::uint64_t backlog = mempool_.available();
+    if (backlog > cap_txs) {
+      const std::uint64_t spread = std::max<std::uint32_t>(1, led_inflight());
+      const std::uint64_t want = (backlog + spread - 1) / spread;
+      if (want > cap_txs) {
+        cap_txs = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(want, cfg_.adaptive_batch_txs));
+        cap_bytes = std::max<std::uint64_t>(
+            cap_bytes, static_cast<std::uint64_t>(cfg_.max_batch_bytes) * cap_txs /
+                           std::max<std::uint32_t>(1, cfg_.max_batch_txs));
+        ctx().metrics().histogram("multishot.batch.adaptive_cap")
+            .record(static_cast<double>(cap_txs));
+      }
+    }
+  }
   BatchDraft draft;
   serde::Writer w;
   w.varint(static_cast<std::uint64_t>(view));  // nonce: distinct across views
   const runtime::Time now = ctx().now();
+  // Dedup probes, lazy and loop-invariant: any entry with a twin elsewhere
+  // (a held fallback copy whose hold expired, or a relayed copy whose origin
+  // kept the fallback) must prove its bytes are not already riding another
+  // live slot before it may ride this one.
+  std::optional<FrameIndex> pending_index;
   for (auto& e : mempool_.entries()) {
     if (e.inflight) continue;       // already in one of my outstanding proposals
     if (e.hold_until > now) continue;  // forwarded; the relay owns it for now
-    // Expired hold: the relay may have committed it in a block this node has
-    // not finalized yet (reconciliation erases the entry only at its own
-    // finalization) -- the O(1) index probe closes that re-commit window.
-    if (e.hold_until != 0) {
+    if (e.hold_until != 0 || e.relayed) {
+      // The twin may have committed in a block this node has not finalized
+      // yet (reconciliation erases the entry only at its own finalization)
+      // -- the O(1) index probe closes that re-commit window.
       if (chain_.commit_slot(e.tx, e.hash) != 0) continue;
-      // The relayed copy can also still be *in flight*: riding a pending
-      // proposal that stalled behind faulty-leader view changes for longer
-      // than the hold. Re-batching the local copy would put the same bytes
-      // in two live slots, so keep holding while any pending candidate
-      // carries them (the slot's outcome settles the copy either way). The
-      // remaining window is a relay proposal not yet received (< delta).
-      if (chain_.tx_in_pending_candidate(e.hash, e.tx)) {
+      // The twin can also still be *in flight*: riding a pending proposal
+      // that stalled behind faulty-leader view changes. Batching this copy
+      // would put the same bytes in two live slots, so keep holding while
+      // any pending candidate carries them (the slot's outcome settles the
+      // copy either way).
+      //
+      // These probes are best-effort, not a proof: a twin can hide in a
+      // notarized block whose content has not arrived here yet, and on slow
+      // (WAN-shaped) links that is the *steady state* at propose time --
+      // votes outrun the proposal broadcast, so a batch-time "window fully
+      // known" guard starves batching outright. Exactly-once therefore
+      // lives at the delivery layer (note_finalized filters frames already
+      // committed at an earlier slot); the probes here just keep duplicate
+      // *inclusion* rare so the chain does not carry dead bytes.
+      if (!pending_index.has_value()) {
+        pending_index.emplace(chain_.pending_candidate_frames());
+      }
+      if (pending_index->contains(e.hash, e.tx)) {
         e.hold_until = now + forward_retry();
         continue;
       }
     }
-    if (draft.entries.size() >= cfg_.max_batch_txs) break;
+    if (draft.entries.size() >= cap_txs) break;
     const std::size_t frame = varint_size(e.tx.size()) + e.tx.size();
-    if (!draft.entries.empty() && w.size() + frame > cfg_.max_batch_bytes) break;
+    if (!draft.entries.empty() && w.size() + frame > cap_bytes) break;
     w.bytes(e.tx);
     draft.entries.push_back(&e);
   }
@@ -316,7 +358,15 @@ bool MultishotNode::defer_for_batch(SlotState& st) {
     return false;
   }
   if (st.batch_timer == 0) {
-    st.batch_timer = ctx().set_timer(cfg_.batch_timeout);
+    // Adaptive mode shortens the wait in proportion to pipeline occupancy:
+    // with several led slots already draining the pool, holding a fresh slot
+    // open for stragglers buys little amortization and costs latency.
+    runtime::Duration wait = cfg_.batch_timeout;
+    if (cfg_.adaptive_batch_txs > cfg_.max_batch_txs) {
+      wait = std::max<runtime::Duration>(
+          1, cfg_.batch_timeout / static_cast<runtime::Duration>(1 + led_inflight()));
+    }
+    st.batch_timer = ctx().set_timer(wait);
     ++batch_timers_armed_;
   }
   return true;
@@ -345,6 +395,13 @@ std::optional<std::uint64_t> MultishotNode::parent_for_proposal(Slot s) const {
   if (const auto n = chain_.notarized(prev)) return n->hash;
   if (const SlotState* pst = slots_.find(prev); pst != nullptr) {
     if (const auto* h = pst->proposal_by_view.find(pst->view)) return *h;
+    // Stripe chaining (pipeline_depth > 1): our own just-proposed candidate
+    // is a valid parent before its broadcast loops back into
+    // proposal_by_view. Stale after a view change (self_view mismatch).
+    if (cfg_.pipeline_depth > 1 && pst->self_view == pst->view &&
+        pst->self_hash != 0) {
+      return pst->self_hash;
+    }
   }
   return std::nullopt;
 }
@@ -421,6 +478,8 @@ void MultishotNode::try_propose(Slot s) {
   }
 
   st->proposed = true;
+  st->self_hash = block.hash();
+  st->self_view = st->view;
   chain_.add_block(block);
   // The proposal is the leader's implicit vote for its own slot (paper
   // §6.1): record vote-1 locally; the broadcast is counted by receivers.
@@ -431,6 +490,36 @@ void MultishotNode::try_propose(Slot s) {
     }
   }
   do_propose(s, st->view, block);
+  if (cfg_.pipeline_depth > 1) try_chain_ahead(s);
+}
+
+void MultishotNode::try_chain_ahead(Slot s) {
+  // Drive the rest of this stripe without waiting for the broadcast of slot
+  // s to loop back: up to pipeline_depth consecutive led slots in flight
+  // before the earliest finalizes, each chaining on the previous candidate.
+  // Only fresh view-0 proposals chain (views > 0 re-propose per slot through
+  // Rule 1), and only while real work is pending -- filler never rides the
+  // pipeline ahead of the frontier. Recursion through try_propose walks to
+  // the stripe boundary and stops (the next stripe has a different leader).
+  const Slot t = s + 1;
+  if (cfg_.max_slots != 0 && t > cfg_.max_slots) return;
+  if (mempool_.available() == 0) return;
+  if (cfg_.leader_of(t, 0) != ctx().id()) return;  // stripe boundary
+  SlotState* st = slot_state(t, true);
+  if (st == nullptr || st->view != 0 || st->proposed) return;
+  start_slot(t);
+  try_propose(t);
+}
+
+std::uint32_t MultishotNode::led_inflight() const {
+  std::uint32_t count = 0;
+  slots_.for_each([&](Slot s, const SlotState& st) {
+    if (st.proposed && !chain_.is_finalized(s) &&
+        cfg_.leader_of(s, st.view) == ctx().id()) {
+      ++count;
+    }
+  });
+  return count;
 }
 
 void MultishotNode::do_propose(Slot s, View v, const Block& block) {
@@ -554,7 +643,31 @@ void MultishotNode::note_finalized(const Block& b) {
   // its way to disk before the commit is published or acknowledged -- a
   // crash right after the ack must recover the block.
   if (durable_ != nullptr) durable_->append(b, chain_.finalized());
-  ctx().publish_commit(b.slot, b.value(), b.payload);
+  // Exactly-once DELIVERY over at-least-once inclusion: forwarding keeps a
+  // fallback copy of every relayed request, and under sustained view-change
+  // turbulence a fallback can be re-batched while the committing proposal
+  // is still in flight (the batch-time probes cannot see an unreceived
+  // block). The chain then carries the bytes twice, but delivery filters
+  // any frame already committed at an earlier slot -- deterministically,
+  // since every node filters the same chain prefix against the same commit
+  // index. The common path (no duplicate) publishes the payload untouched.
+  std::optional<Block> dedup;
+  for (const auto f : payload_frames(b.payload)) {
+    if (!chain_.committed_before(f, fnv1a64(f), b.slot)) continue;
+    ctx().metrics().counter("multishot.delivery.filtered_dup").add();
+    serde::Reader r(b.payload);
+    serde::Writer w;
+    w.varint(r.varint());  // view nonce survives verbatim
+    for (const auto keep : payload_frames(b.payload)) {
+      if (!chain_.committed_before(keep, fnv1a64(keep), b.slot)) w.bytes(keep);
+    }
+    auto filtered = w.take();
+    filtered.resize(b.payload.size(), 0);  // zero padding parses as filler
+    dedup = Block{b.slot, b.parent_hash, b.proposer, std::move(filtered)};
+    break;
+  }
+  const Block& delivered = dedup ? *dedup : b;
+  ctx().publish_commit(b.slot, b.value(), delivered.payload);
   // Mempool reconciliation against the winning block: transactions that made
   // it into the chain leave the pool; my inflight transactions attributed to
   // this (or an earlier) slot whose proposal lost/aborted become available
@@ -569,7 +682,7 @@ void MultishotNode::note_finalized(const Block& b) {
     if (it->inflight && it->slot <= b.slot) mempool_.release(*it);
     ++it;
   }
-  if (commit_hook_) commit_hook_(b, ctx().now());
+  if (commit_hook_) commit_hook_(delivered, ctx().now());
 }
 
 void MultishotNode::prune_slots() {
@@ -1257,6 +1370,7 @@ void MultishotNode::handle(NodeId from, const MsForwardTx& m) {
     return;
   }
   forward_seen_.insert(h);
+  mempool_.entries().back().relayed = true;
   metrics.counter("multishot.forward.received").add();
   // Single hop: a relayed request is never re-forwarded; it wakes batching
   // and the idle chain exactly like a local submission.

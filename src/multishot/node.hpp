@@ -105,13 +105,40 @@ struct MultishotConfig {
   std::size_t mempool_capacity{1024};
   MempoolPolicy mempool_policy{MempoolPolicy::kRejectNew};
 
+  // --- Slot pipelining + adaptive batching (DESIGN_PERF.md) ---
+  /// How many consecutive led slots a leader may drive before the earliest
+  /// finalizes. Depth 1 is the classic per-slot rotation (byte-identical to
+  /// the pre-pipelining protocol). Depth > 1 stripes the rotating-leader
+  /// schedule into runs of `pipeline_depth` slots per leader, and a leader
+  /// chains fresh proposals across its stripe on its own candidate parents
+  /// without waiting for its broadcasts to loop back.
+  std::uint32_t pipeline_depth{1};
+  /// Adaptive batching ceiling: when > max_batch_txs, the effective batch
+  /// caps of a fresh proposal scale with the observed mempool backlog
+  /// (spread across this node's in-flight led slots) up to this many
+  /// transactions, with the byte budget scaled in proportion. An idle or
+  /// lightly loaded pool stays at the base caps, so single-transaction
+  /// latency and the idle-quiescence contract are untouched. 0 = fixed caps.
+  std::uint32_t adaptive_batch_txs{0};
+
   [[nodiscard]] QuorumParams quorum_params() const { return {n, f}; }
   [[nodiscard]] runtime::Duration view_timeout() const {
     return static_cast<runtime::Duration>(timeout_delta_multiple) * delta_bound;
   }
-  /// Per-(slot, view) rotating leader; view 0 walks the ring slot by slot.
+  /// Per-(slot, view) rotating leader over pipeline stripes: slots are
+  /// assigned in runs of `pipeline_depth` (stripe k = slots (k-1)*depth+1 ..
+  /// k*depth), and views rotate the stripe owner. Depth 1 reduces exactly to
+  /// the classic (s + v) % n walk.
   [[nodiscard]] NodeId leader_of(Slot s, View v) const {
-    return static_cast<NodeId>((s + static_cast<std::uint64_t>(v)) % n);
+    const std::uint64_t stripe = (s + pipeline_depth - 1) / pipeline_depth;
+    return static_cast<NodeId>((stripe + static_cast<std::uint64_t>(v)) % n);
+  }
+  /// Hard ceiling on a fresh proposal's payload byte budget once adaptive
+  /// batching may widen batches (transport frame sizing uses this too).
+  [[nodiscard]] std::uint64_t adaptive_bytes_ceiling() const {
+    if (adaptive_batch_txs <= max_batch_txs) return max_batch_bytes;
+    return static_cast<std::uint64_t>(max_batch_bytes) * adaptive_batch_txs /
+           std::max<std::uint32_t>(1, max_batch_txs);
   }
 };
 
@@ -233,6 +260,11 @@ class MultishotNode : public runtime::ProtocolNode {
     /// for (MsBlockRequest). Replies are accepted only against this or the
     /// slot's recorded notarization hash.
     std::uint64_t wanted_hash{0};
+    /// My own proposal for this slot (hash + the view it was proposed in):
+    /// the stripe-chaining parent fallback (pipeline_depth > 1) before the
+    /// broadcast loops back into proposal_by_view.
+    std::uint64_t self_hash{0};
+    View self_view{kNoView};
     core::VoteRecord record;                     // implicit per-slot phase history
     std::vector<std::optional<MsSuggest>> suggests;  // latest per sender
     std::vector<std::optional<MsProof>> proofs;      // latest per sender
@@ -253,6 +285,8 @@ class MultishotNode : public runtime::ProtocolNode {
       proposed = false;
       extra_candidates = 0;
       wanted_hash = 0;
+      self_hash = 0;
+      self_view = kNoView;
       record = core::VoteRecord{};
       suggests.assign(suggests.size(), std::nullopt);
       proofs.assign(proofs.size(), std::nullopt);
@@ -322,6 +356,15 @@ class MultishotNode : public runtime::ProtocolNode {
   [[nodiscard]] bool idle_quiescent() const;
 
   void try_propose(Slot s);
+  /// Stripe chaining (pipeline_depth > 1): having proposed slot s, propose
+  /// the next slot of the stripe on the just-created candidate parent when
+  /// this node leads it and real work is pending (recursive through
+  /// try_propose, bounded by the stripe).
+  void try_chain_ahead(Slot s);
+  /// Slots this node proposed that are still unfinalized under its
+  /// leadership -- the in-flight count the adaptive batch control law
+  /// spreads the backlog across. Bounded window sweep, proposal-time only.
+  [[nodiscard]] std::uint32_t led_inflight() const;
   void try_vote(Slot s);
   void record_vote_effects(Slot s, View v, const Block& head);
   void on_notarized(Slot s);

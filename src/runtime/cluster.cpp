@@ -207,6 +207,19 @@ ClusterBuilder& ClusterBuilder::batching(std::uint32_t max_txs, std::uint32_t ma
   batch_timeout_ = timeout;
   return *this;
 }
+ClusterBuilder& ClusterBuilder::pipelining(std::uint32_t depth) {
+  if (depth == 0 || depth > 16) {
+    throw std::invalid_argument(
+        "ClusterBuilder: pipelining depth must be in [1, 16] (1 = off; deeper "
+        "stripes outrun the finality depth without adding throughput)");
+  }
+  pipeline_depth_ = depth;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::adaptive_batching(std::uint32_t max_txs) {
+  adaptive_batch_txs_ = max_txs;
+  return *this;
+}
 ClusterBuilder& ClusterBuilder::mempool(std::size_t capacity,
                                         multishot::MempoolPolicy policy) {
   if (capacity == 0) throw std::invalid_argument("ClusterBuilder: mempool capacity must be > 0");
@@ -340,6 +353,10 @@ multishot::MultishotConfig ClusterBuilder::node_config() const {
   cfg.forward_to_leader = forward_to_leader_;
   cfg.commit_epoch_slots = commit_epoch_slots_;
   cfg.enable_sync = enable_sync_;
+  cfg.pipeline_depth = pipeline_depth_;
+  if (adaptive_batch_txs_ > max_batch_txs_) {
+    cfg.adaptive_batch_txs = adaptive_batch_txs_;
+  }
   return cfg;
 }
 
@@ -372,12 +389,16 @@ std::unique_ptr<Cluster> ClusterBuilder::build_local() const {
 
 runtime::SocketHostConfig ClusterBuilder::socket_host_config(
     NodeId id, net::Endpoint listen) const {
-  if (socket_max_frame_ < max_batch_bytes_ + 4096) {
+  // Validate against the largest proposal the node may actually emit: under
+  // adaptive batching that is the scaled byte ceiling, not the base cap.
+  const std::uint64_t max_proposal_bytes = node_config().adaptive_bytes_ceiling();
+  if (socket_max_frame_ < max_proposal_bytes + 4096) {
     throw std::logic_error(
         "ClusterBuilder: socket_max_frame(" + std::to_string(socket_max_frame_) +
-        ") leaves no headroom over max_batch_bytes(" +
-        std::to_string(max_batch_bytes_) +
-        "); a full proposal would be dropped as oversize -- raise socket_max_frame");
+        ") leaves no headroom over the largest proposal payload (" +
+        std::to_string(max_proposal_bytes) +
+        " bytes); a full proposal would be dropped as oversize -- raise "
+        "socket_max_frame or lower the batching/adaptive_batching caps");
   }
   runtime::SocketHostConfig hc;
   hc.id = id;

@@ -319,6 +319,14 @@ class ClusterBuilder {
   /// empty-mempool leader defers a fresh proposal waiting for load.
   ClusterBuilder& batching(std::uint32_t max_txs, std::uint32_t max_bytes,
                            runtime::Duration timeout = 0);
+  /// Slot pipelining: a leader may have up to `depth` consecutive led slots
+  /// proposed before the earliest finalizes (1 = classic one-at-a-time, and
+  /// byte-identical to it). Must be in [1, 16].
+  ClusterBuilder& pipelining(std::uint32_t depth);
+  /// Adaptive batching: under mempool backlog the per-proposal caps grow
+  /// toward `max_txs` transactions (byte budget scales in proportion).
+  /// Values <= the batching() tx cap disable adaptation (the default).
+  ClusterBuilder& adaptive_batching(std::uint32_t max_txs);
   ClusterBuilder& mempool(std::size_t capacity, multishot::MempoolPolicy policy);
   /// Resident finalized blocks kept behind the compaction checkpoint.
   ClusterBuilder& storage_tail(std::size_t blocks);
@@ -394,6 +402,8 @@ class ClusterBuilder {
   std::uint32_t max_batch_txs_{64};
   std::uint32_t max_batch_bytes_{8192};
   runtime::Duration batch_timeout_{0};
+  std::uint32_t pipeline_depth_{1};
+  std::uint32_t adaptive_batch_txs_{0};  // <= max_batch_txs_ = off
   std::size_t mempool_capacity_{4096};
   multishot::MempoolPolicy mempool_policy_{multishot::MempoolPolicy::kRejectNew};
   std::size_t finalized_tail_{multishot::FinalizedStore::kDefaultTailCapacity};

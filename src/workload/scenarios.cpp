@@ -58,6 +58,10 @@ WorkloadRig make_rig(const ScenarioOptions& opts) {
   rig.node_cfg.max_batch_txs = opts.max_batch_txs;
   rig.node_cfg.max_batch_bytes = opts.max_batch_bytes;
   rig.node_cfg.batch_timeout = opts.batch_timeout;
+  rig.node_cfg.pipeline_depth = opts.pipeline_depth;
+  if (opts.adaptive_batch_txs > opts.max_batch_txs) {
+    rig.node_cfg.adaptive_batch_txs = opts.adaptive_batch_txs;
+  }
   rig.node_cfg.mempool_capacity = opts.mempool_capacity;
   rig.node_cfg.mempool_policy = opts.mempool_policy;
 

@@ -51,6 +51,10 @@ struct ScenarioOptions {
   std::uint32_t max_batch_txs{64};
   std::uint32_t max_batch_bytes{8192};
   sim::SimTime batch_timeout{0};
+  /// Led slots a leader may have in flight at once (1 = classic).
+  std::uint32_t pipeline_depth{1};
+  /// Adaptive per-proposal tx ceiling under backlog (<= max_batch_txs = off).
+  std::uint32_t adaptive_batch_txs{0};
   std::size_t mempool_capacity{4096};
   multishot::MempoolPolicy mempool_policy{multishot::MempoolPolicy::kRejectNew};
   sim::SimTime delta_bound{10 * sim::kMillisecond};

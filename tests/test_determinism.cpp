@@ -135,5 +135,40 @@ TEST(Determinism, WorkloadSeedsDiverge) {
   EXPECT_NE(a.trace_digest, b.trace_digest);
 }
 
+// pipeline_depth = 1 must reproduce today's runs BYTE-identically: the
+// pipelining machinery (striped leader schedule, stripe chaining, adaptive
+// caps) is a strict no-op at depth 1, so the whole trace -- not just the
+// chain -- matches a config that never mentions pipelining.
+TEST(Determinism, DepthOneIsByteIdenticalToUnpipelined) {
+  const auto base = workload::run_scenario(loaded_opts(false, 0xABCD));
+  auto opts = loaded_opts(false, 0xABCD);
+  opts.pipeline_depth = 1;
+  opts.adaptive_batch_txs = 0;
+  const auto depth1 = workload::run_scenario(opts);
+  ASSERT_GT(base.report.committed, 0u);
+  EXPECT_EQ(base.trace_digest, depth1.trace_digest);
+  EXPECT_EQ(base.elapsed, depth1.elapsed);
+  EXPECT_TRUE(base.report == depth1.report);
+}
+
+// A pipelined + adaptive run is still a pure function of seed + config.
+TEST(Determinism, PipelinedWorkloadIsDeterministic) {
+  auto opts = loaded_opts(false, 0x9A9A);
+  opts.rate_per_sec = 4000;
+  opts.pipeline_depth = 4;
+  opts.adaptive_batch_txs = 512;
+  const auto a = workload::run_scenario(opts);
+  const auto b = workload::run_scenario(opts);
+  ASSERT_GT(a.report.committed, 0u);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_TRUE(a.report == b.report);
+  // And the depth axis has teeth: depth 4 schedules differently than depth 1.
+  auto flat = opts;
+  flat.pipeline_depth = 1;
+  flat.adaptive_batch_txs = 0;
+  const auto c = workload::run_scenario(flat);
+  EXPECT_NE(a.trace_digest, c.trace_digest);
+}
+
 }  // namespace
 }  // namespace tbft::test
