@@ -10,10 +10,13 @@
 
 #include "common/assert.hpp"
 #include "multishot/node.hpp"
+#include "shard/mux.hpp"
+#include "shard/tracker.hpp"
 #include "sim/adversary.hpp"
 #include "sim/runtime.hpp"
 #include "storage/durable_chain.hpp"
 #include "workload/generator.hpp"
+#include "workload/request.hpp"
 
 namespace tbft::chaos {
 
@@ -46,6 +49,44 @@ struct LivePort final : workload::SubmitPort {
     return *slot_ != nullptr && (*slot_)->submit_tx(std::move(tx));
   }
   multishot::MultishotNode** slot_;
+};
+
+/// The sharded counterpart: routes each request to its home shard on the
+/// live mux (untagged bytes park on shard 0), with the same down-replica
+/// backpressure.
+struct ShardedLivePort final : workload::SubmitPort {
+  ShardedLivePort(shard::ShardMux** slot, std::uint32_t shards)
+      : slot_(slot), router_(shards) {}
+  bool submit(std::vector<std::uint8_t> tx) override {
+    if (*slot_ == nullptr) return false;
+    const auto tag = workload::parse_request_tag(tx);
+    return (*slot_)->submit(tag ? router_.shard_of(*tag) : 0, std::move(tx));
+  }
+  shard::ShardMux** slot_;
+  shard::ShardRouter router_;
+};
+
+/// Confines a single-chain Byzantine adversary to shard 0 of a sharded run:
+/// only route-0 traffic reaches it (its own sends are untagged, so they land
+/// on shard 0 everywhere), and shard k > 0 messages are dropped instead of
+/// being misread as shard-0 protocol state. Without this, an adversary that
+/// is "merely" a faulty single-chain node would echo shard-k transactions
+/// into shard 0's blocks -- a cross-shard duplication no real per-shard
+/// committee member produces, because membership is per shard. The node
+/// stays a full Byzantine participant of shard 0 and a silent fault (within
+/// budget) everywhere else.
+struct ShardZeroAdversary final : runtime::ProtocolNode {
+  explicit ShardZeroAdversary(std::unique_ptr<runtime::ProtocolNode> inner)
+      : inner_(std::move(inner)) {}
+  void on_start() override {
+    inner_->bind(ctx());  // lazy: our own context exists by now
+    inner_->on_start();
+  }
+  void on_message(NodeId from, const Payload& payload) override {
+    if (payload.route() == 0) inner_->on_message(from, payload);
+  }
+  void on_timer(runtime::TimerId id) override { inner_->on_timer(id); }
+  std::unique_ptr<runtime::ProtocolNode> inner_;
 };
 
 storage::DurableOptions durable_options() {
@@ -97,40 +138,81 @@ ChaosVerdict run_plan(const ScenarioPlan& plan, const fs::path& work_dir) {
   ChaosVerdict v;
 
   // Replica pointers live here (stable storage: LivePorts alias the slots);
-  // nullptr marks Byzantine roles and crashed replicas.
+  // nullptr marks Byzantine roles and crashed replicas. Sharded plans track
+  // the mux instead (its per-shard instances hang off it); exactly one of
+  // the two vectors is populated per honest replica.
+  const std::uint32_t S = plan.shards;
   std::vector<multishot::MultishotNode*> replicas(plan.n, nullptr);
-  std::vector<std::unique_ptr<storage::DurableChain>> durables(plan.n);
-  workload::WorkloadTracker tracker(simu->metrics());
+  std::vector<shard::ShardMux*> muxes(plan.n, nullptr);
+  std::vector<std::vector<std::unique_ptr<storage::DurableChain>>> durables(plan.n);
+  // The sharded tracker degenerates to one flat WorkloadTracker at S = 1:
+  // same books, same completion-listener retry path.
+  shard::ShardedTracker tracker(simu->metrics(), S);
 
   const auto node_dir = [&](NodeId id) {
     return work_dir / ("node-" + std::to_string(id));
+  };
+  const auto shard_dir = [&](NodeId id, std::uint32_t k) {
+    // Historical S = 1 layout is preserved (node-<id> is the chain dir).
+    return S == 1 ? node_dir(id) : node_dir(id) / ("shard-" + std::to_string(k));
+  };
+
+  // Build -- or rebuild, recovering whatever durable state the directories
+  // hold -- replica i's honest protocol node: one plain chain at S = 1
+  // (the historical path, byte-identical traces), a ShardMux of S recovered
+  // chains otherwise.
+  const auto make_honest = [&](NodeId i) -> std::unique_ptr<runtime::ProtocolNode> {
+    durables[i].clear();
+    if (S == 1) {
+      durables[i].push_back(
+          std::make_unique<storage::DurableChain>(shard_dir(i, 0), durable_options()));
+      auto node = make_recovered(node_cfg, *durables[i].front());
+      tracker.observe(0, *node);
+      replicas[i] = node.get();
+      return node;
+    }
+    std::vector<std::unique_ptr<multishot::MultishotNode>> instances;
+    for (std::uint32_t k = 0; k < S; ++k) {
+      durables[i].push_back(
+          std::make_unique<storage::DurableChain>(shard_dir(i, k), durable_options()));
+      auto instance = make_recovered(node_cfg, *durables[i].back());
+      tracker.observe(k, *instance);
+      instances.push_back(std::move(instance));
+    }
+    auto mux = std::make_unique<shard::ShardMux>(std::move(instances));
+    muxes[i] = mux.get();
+    return mux;
+  };
+
+  // Sharded runs confine each single-chain adversary to shard 0 (see
+  // ShardZeroAdversary); at S = 1 the wrapper is skipped and the historical
+  // byte-identical path runs.
+  const auto add_adversary = [&](std::unique_ptr<runtime::ProtocolNode> node) {
+    if (S > 1) node = std::make_unique<ShardZeroAdversary>(std::move(node));
+    simu->add_node(std::move(node));
   };
 
   for (NodeId i = 0; i < plan.n; ++i) {
     switch (plan.roles[i]) {
       case ByzRole::kSilent:
-        simu->add_node(std::make_unique<sim::SilentNode>());
+        add_adversary(std::make_unique<sim::SilentNode>());
         break;
       case ByzRole::kJunk:
-        simu->add_node(std::make_unique<sim::RandomJunkNode>(plan.delta_bound / 2));
+        add_adversary(std::make_unique<sim::RandomJunkNode>(plan.delta_bound / 2));
         break;
       case ByzRole::kSlowLoris:
         // Hold each proposal to the timeout edge: victims' 9-Delta view
         // timers are 2 Delta away when the proposal finally ships.
-        simu->add_node(std::make_unique<sim::SlowLorisLeader>(node_cfg, 7 * plan.delta_bound));
+        add_adversary(std::make_unique<sim::SlowLorisLeader>(node_cfg, 7 * plan.delta_bound));
         break;
       case ByzRole::kEquivocator:
-        simu->add_node(std::make_unique<sim::ViewChangeEquivocator>(node_cfg));
+        add_adversary(std::make_unique<sim::ViewChangeEquivocator>(node_cfg));
         break;
       case ByzRole::kHonest: {
         fs::remove_all(node_dir(i));
-        fs::create_directories(node_dir(i));
-        durables[i] = std::make_unique<storage::DurableChain>(node_dir(i), durable_options());
-        auto node = make_recovered(node_cfg, *durables[i]);
-        tracker.observe(*node);
+        for (std::uint32_t k = 0; k < S; ++k) fs::create_directories(shard_dir(i, k));
+        simu->add_node(make_honest(i));
         ++v.observers;
-        replicas[i] = node.get();
-        simu->add_node(std::move(node));
         break;
       }
     }
@@ -142,7 +224,11 @@ ChaosVerdict run_plan(const ScenarioPlan& plan, const fs::path& work_dir) {
   std::vector<workload::SubmitPort*> honest;
   for (NodeId i = 0; i < plan.n; ++i) {
     if (plan.roles[i] == ByzRole::kHonest) {
-      ports.push_back(std::make_unique<LivePort>(&replicas[i]));
+      if (S == 1) {
+        ports.push_back(std::make_unique<LivePort>(&replicas[i]));
+      } else {
+        ports.push_back(std::make_unique<ShardedLivePort>(&muxes[i], S));
+      }
       honest.push_back(ports.back().get());
     }
   }
@@ -183,20 +269,17 @@ ChaosVerdict run_plan(const ScenarioPlan& plan, const fs::path& work_dir) {
   // --- The churn schedule: crash at down_at, recover from disk at up_at. ---
   for (const ChurnEvent& ev : plan.churn) {
     simu->run_until(ev.down_at);
-    TBFT_ASSERT_MSG(replicas[ev.node] != nullptr, "churn hit a non-live replica");
+    TBFT_ASSERT_MSG(replicas[ev.node] != nullptr || muxes[ev.node] != nullptr,
+                    "churn hit a non-live replica");
     simu->crash_node(ev.node);
     replicas[ev.node] = nullptr;
-    durables[ev.node].reset();  // close WAL/checkpoint files, like process death
+    muxes[ev.node] = nullptr;
+    durables[ev.node].clear();  // close WAL/checkpoint files, like process death
     ++v.crashes;
 
     simu->run_until(ev.up_at);
-    durables[ev.node] =
-        std::make_unique<storage::DurableChain>(node_dir(ev.node), durable_options());
-    auto fresh = make_recovered(node_cfg, *durables[ev.node]);
-    tracker.observe(*fresh);
+    simu->restart_node(ev.node, make_honest(ev.node));
     ++v.observers;
-    replicas[ev.node] = fresh.get();
-    simu->restart_node(ev.node, std::move(fresh));
     ++v.restarts;
   }
 
@@ -221,6 +304,46 @@ ChaosVerdict run_plan(const ScenarioPlan& plan, const fs::path& work_dir) {
                  static_cast<unsigned long long>(mx.counter("multishot.blockreq.sent").value()),
                  static_cast<unsigned long long>(mx.counter("multishot.blockreq.served").value()),
                  static_cast<unsigned long long>(mx.counter("multishot.blockreq.adopted").value()));
+    if (S > 1) {
+      for (NodeId i = 0; i < plan.n; ++i) {
+        if (muxes[i] == nullptr) continue;
+        for (std::uint32_t k = 0; k < S; ++k) {
+          const auto& inst = muxes[i]->instance(k);
+          std::fprintf(stderr, "node %u shard %u: finalized=%llu pool=%zu\n", i, k,
+                       static_cast<unsigned long long>(inst.finalized_count()),
+                       inst.mempool().size());
+          const auto& ch = inst.chain();
+          const Slot first = inst.finalized_count() + 1;
+          for (Slot s = first; s < first + 4; ++s) {
+            const auto nz = ch.notarized(s);
+            if (!nz) {
+              std::fprintf(stderr, "  slot %llu: no notarization\n",
+                           static_cast<unsigned long long>(s));
+              continue;
+            }
+            const auto* blk = ch.find_block(s, nz->hash);
+            std::fprintf(stderr,
+                         "  slot %llu: notarized view=%llu hash=%016llx block=%s parent=%016llx"
+                         " want_parent=%016llx\n",
+                         static_cast<unsigned long long>(s),
+                         static_cast<unsigned long long>(nz->view),
+                         static_cast<unsigned long long>(nz->hash), blk ? "yes" : "MISSING",
+                         blk ? static_cast<unsigned long long>(blk->parent_hash) : 0ULL,
+                         static_cast<unsigned long long>(
+                             s == first ? ch.finalized_tip_hash()
+                                        : (ch.notarized(s - 1) ? ch.notarized(s - 1)->hash
+                                                               : 0)));
+          }
+          for (const auto& e : inst.mempool().entries()) {
+            std::fprintf(stderr,
+                         "  tx hash=%016llx size=%zu inflight=%d slot=%llu hold_until=%lld\n",
+                         static_cast<unsigned long long>(e.hash), e.tx.size(), e.inflight,
+                         static_cast<unsigned long long>(e.slot),
+                         static_cast<long long>(e.hold_until));
+          }
+        }
+      }
+    }
     for (NodeId i = 0; i < plan.n; ++i) {
       const auto* node = replicas[i];
       if (node == nullptr) continue;
@@ -261,9 +384,26 @@ ChaosVerdict run_plan(const ScenarioPlan& plan, const fs::path& work_dir) {
   v.report = tracker.report(v.elapsed);
   v.drained = tracker.admitted() > 0 && tracker.all_admitted_committed();
   v.progressed = v.report.committed > 0;
-  v.chains_consistent = multishot::chains_prefix_consistent(replicas);
-  for (const auto* node : replicas) {
-    if (node != nullptr) v.max_finalized = std::max(v.max_finalized, node->finalized_count());
+  if (S == 1) {
+    v.chains_consistent = multishot::chains_prefix_consistent(replicas);
+    for (const auto* node : replicas) {
+      if (node != nullptr) v.max_finalized = std::max(v.max_finalized, node->finalized_count());
+    }
+  } else {
+    // Safety is per shard: every shard's chains must agree across the live
+    // muxes (cross-shard commits are the tracker's to catch).
+    v.chains_consistent = tracker.misrouted_commits() == 0 && tracker.cross_shard_commits() == 0;
+    for (std::uint32_t k = 0; k < S; ++k) {
+      std::vector<multishot::MultishotNode*> shard_chains;
+      for (auto* mux : muxes) {
+        if (mux != nullptr) shard_chains.push_back(&mux->instance(k));
+      }
+      v.chains_consistent =
+          v.chains_consistent && multishot::chains_prefix_consistent(shard_chains);
+      for (const auto* chain : shard_chains) {
+        v.max_finalized = std::max(v.max_finalized, chain->finalized_count());
+      }
+    }
   }
   v.trace_digest = simu->trace().digest();
   return v;

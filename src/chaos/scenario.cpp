@@ -196,6 +196,15 @@ ScenarioPlan draw_plan(std::uint64_t seed) {
       p.adaptive_batch_txs = static_cast<std::uint32_t>(rng.uniform(64, 512));
     }
   }
+
+  // --- Sharding. APPENDED draw (same contract as above: every earlier knob
+  // keeps its historical value). Half the plan space runs every honest
+  // replica as a ShardMux of 2 or 4 key-routed chain instances; Byzantine
+  // roles stay unsharded, so their route-0 traffic attacks shard 0 while
+  // they are effectively silent in the others -- both within budget.
+  if (rng.bernoulli(0.5)) {
+    p.shards = rng.bernoulli(0.5) ? 2 : 4;
+  }
   return p;
 }
 
@@ -213,12 +222,12 @@ std::string ScenarioPlan::describe() const {
   if (byz.empty()) byz = "none";
   std::snprintf(buf, sizeof buf,
                 "seed=%llu n=%u f=%u wan=%s delta=%lldms load=%s clients=%u "
-                "dur=%lldms byz=[%s] churn=%zu depth=%u adaptive=%u",
+                "dur=%lldms byz=[%s] churn=%zu depth=%u adaptive=%u shards=%u",
                 static_cast<unsigned long long>(seed), n, f, wan_shape_name(wan),
                 static_cast<long long>(delta_bound / kMillisecond),
                 load_shape_name(load), clients,
                 static_cast<long long>(load_duration / kMillisecond), byz.c_str(),
-                churn.size(), pipeline_depth, adaptive_batch_txs);
+                churn.size(), pipeline_depth, adaptive_batch_txs, shards);
   return buf;
 }
 

@@ -77,6 +77,9 @@ struct ScenarioPlan {
   std::uint32_t pipeline_depth{1};
   /// Adaptive per-proposal tx ceiling under backlog (0 = fixed caps).
   std::uint32_t adaptive_batch_txs{0};
+  /// Key-routed chain instances per replica (1 = classic single chain;
+  /// >1 runs every honest replica as a shard::ShardMux).
+  std::uint32_t shards{1};
 
   [[nodiscard]] std::uint32_t byzantine_count() const {
     std::uint32_t c = 0;

@@ -166,6 +166,17 @@ class Payload {
     bump(stats().caches_attached);
   }
 
+  /// Tag this payload with a routing key (shard index) before publishing.
+  /// Same write-once-before-publish contract as attach_decoded: set by the
+  /// creating thread only, before any other thread can see the payload, and
+  /// immutable afterwards. Deliberately non-const for the same reason.
+  void set_route(std::uint32_t route) noexcept {
+    if (rep_ != nullptr) rep_->route = route;
+  }
+
+  /// The routing key attached at the sending site, 0 if never tagged.
+  [[nodiscard]] std::uint32_t route() const noexcept { return rep_ ? rep_->route : 0; }
+
   /// The decode cache, if a cache of exactly type M is attached.
   template <class M>
   [[nodiscard]] const M* cached() const noexcept {
@@ -195,6 +206,9 @@ class Payload {
     // published (see the thread-safety contract above).
     std::shared_ptr<const void> cache;
     const std::type_info* cache_type{nullptr};
+    // Routing key (shard index) for multiplexed hosts. Write-once,
+    // sender-side, before publication (see set_route); 0 = untagged.
+    std::uint32_t route{0};
   };
 
   void release() noexcept {

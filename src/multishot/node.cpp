@@ -612,7 +612,16 @@ void MultishotNode::on_notarized(Slot s) {
 // the pipelined-vote inference: the quorum notarizing the child recorded
 // phase votes for the child's parent at the child's view, so adopt that
 // parent as the slot's notarization (and fetch its bytes if they never
-// reached us). Walk top-down so a cascade of seams heals in one pass.
+// reached us). The inference holds in BOTH view orders: when the child's
+// notarization is OLDER than a conflicting parent re-notarization (the
+// pipelined child notarized first, then an equivocated view change
+// re-notarized the parent differently -- chaos seed 83 at shards=4), the
+// child still wins, because Rule 1 pins the child's value forever and the
+// chain can only ever extend through the parent it cites; the newer parent
+// notarization is a dead branch no honest quorum will build on. The
+// adoption is recorded at the max of both views so retransmitted votes for
+// the dead branch cannot flip the slot back before the suffix finalizes.
+// Walk top-down so a cascade of seams heals in one pass.
 void MultishotNode::heal_notarization_seams() {
   const Slot base = chain_.first_unfinalized();
   Slot top = base;
@@ -620,11 +629,12 @@ void MultishotNode::heal_notarization_seams() {
   for (Slot s = top; s > base; --s) {
     const auto child = chain_.notarized(s);
     const auto cur = chain_.notarized(s - 1);
-    if (!child || (cur && child->view < cur->view)) continue;
+    if (!child) continue;
     const Block* cb = chain_.find_block(s, child->hash);
     if (cb == nullptr) continue;  // content recovery will re-trigger the pass
     if (cur && cur->hash == cb->parent_hash) continue;  // coherent link
-    if (chain_.adopt_parent_notarization(s - 1, child->view, cb->parent_hash)) {
+    const View adopt_view = std::max(child->view, cur ? cur->view : 0);
+    if (chain_.adopt_parent_notarization(s - 1, adopt_view, cb->parent_hash)) {
       ctx().metrics().counter("multishot.seam.healed").add();
       if (chain_.find_block(s - 1, cb->parent_hash) == nullptr) {
         request_block_content(s - 1, cb->parent_hash);
@@ -968,7 +978,7 @@ void MultishotNode::note_block_claim(NodeId from, const Block& b) {
     // One created claim per sender per slot: honest senders claim a
     // single hash, so only Byzantine fan-out is refused here.
     if (slab->sender_has_claim(from)) return;
-    claim = slab->add(h, cfg_.n);
+    claim = slab->add(h, cfg_.n, max_claims_per_slot(cfg_.f));
     if (claim == nullptr) return;  // per-slot claim bound reached
     claim->block = b;
   }
@@ -1205,7 +1215,7 @@ void MultishotNode::handle(NodeId from, const MsCheckpointChunk& m) {
     }
   }
   if (idx == ckpt_.identities.size()) {
-    if (idx == CkptFetch::kMaxIdentities) return;  // Byzantine fan-out bound
+    if (idx == max_ckpt_identities(cfg_.f)) return;  // Byzantine fan-out bound
     CkptFetch::Identity ident;
     ident.idhash = idhash;
     ident.cp = m.cp;

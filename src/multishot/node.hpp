@@ -142,6 +142,32 @@ struct MultishotConfig {
   }
 };
 
+// --- f-scaled Byzantine fan-out bounds (exercised at n = 64/128) ----------
+// Floors keep small-committee behavior (and recorded traces) identical;
+// at large f the bounds scale so a flooder set cannot exhaust a slab before
+// the honest entry lands.
+
+/// Distinct claimed blocks tracked per slot during ChainInfo catch-up
+/// (honest claims agree; only Byzantine senders fan out). Historical floor.
+inline constexpr std::size_t kMaxClaimsPerSlot = 32;
+/// Per-slot claim bound: each Byzantine sender can create at most one claim
+/// (ClaimSlab::sender_has_claim), so f + 2 entries always leave room for the
+/// honest hash (f = 21/42 at n = 64/128).
+[[nodiscard]] constexpr std::size_t max_claims_per_slot(std::uint32_t f) noexcept {
+  return kMaxClaimsPerSlot > f + 2 ? kMaxClaimsPerSlot : f + 2;
+}
+
+/// Distinct (checkpoint, state hash/size) identities tolerated per
+/// checkpoint fetch before Byzantine fan-out is ignored (honest answers for
+/// one anchor agree up to rotation skew). Historical floor.
+inline constexpr std::size_t kMaxCkptIdentities = 4;
+/// Each Byzantine sender can push at most a few bogus identities before its
+/// vouch is spent; f + 1 slots guarantee an honest identity is never crowded
+/// out at large n.
+[[nodiscard]] constexpr std::size_t max_ckpt_identities(std::uint32_t f) noexcept {
+  return kMaxCkptIdentities > f + 1 ? kMaxCkptIdentities : f + 1;
+}
+
 class MultishotNode : public runtime::ProtocolNode {
  public:
   explicit MultishotNode(MultishotConfig cfg);
@@ -233,9 +259,6 @@ class MultishotNode : public runtime::ProtocolNode {
   /// depth -- blocks past it could not be adopted yet anyway.
   static constexpr Slot kClaimWindow = 64;
   static constexpr Slot kSyncPipelineDepth = kClaimWindow;
-  /// Distinct claimed blocks tracked per slot (honest claims agree; only
-  /// Byzantine senders can fan out further).
-  static constexpr std::size_t kMaxClaimsPerSlot = 32;
   /// Alternate equivocating blocks stored per slot via the proposal path
   /// (beyond each view's recorded first proposal).
   static constexpr std::uint8_t kMaxExtraCandidatesPerSlot = 4;
@@ -328,8 +351,8 @@ class MultishotNode : public runtime::ProtocolNode {
       }
       return false;
     }
-    Claim* add(std::uint64_t hash, std::uint32_t n) {
-      if (used == kMaxClaimsPerSlot) return nullptr;
+    Claim* add(std::uint64_t hash, std::uint32_t n, std::size_t max_claims) {
+      if (used == max_claims) return nullptr;
       if (used == claims.size()) claims.push_back({});
       Claim& c = claims[used++];
       c.hash = hash;
@@ -474,10 +497,6 @@ class MultishotNode : public runtime::ProtocolNode {
       Slot tail_first{0};
       Slot frontier{0};
     };
-    /// Distinct (checkpoint, state hash/size) identities tolerated per
-    /// fetch before Byzantine fan-out is ignored (honest answers for one
-    /// anchor agree up to rotation skew).
-    static constexpr std::size_t kMaxIdentities = 4;
     struct Identity {
       std::uint64_t idhash{0};
       Checkpoint cp{};

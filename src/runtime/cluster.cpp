@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "shard/tracker.hpp"
+
 namespace tbft {
 
 // ---- detail::CommitHub -----------------------------------------------------
@@ -88,6 +90,85 @@ bool SimCluster::run_until_all_finalized(Slot target, runtime::Duration deadline
       [this, target] {
         for (const auto* replica : replicas_) {
           if (replica->finalized_count() < target) return false;
+        }
+        return true;
+      },
+      deadline);
+}
+
+// ---- ShardedCluster --------------------------------------------------------
+
+void ShardedNode::submit(std::vector<std::uint8_t> tx) {
+  const auto tag = workload::parse_request_tag(tx);
+  const std::uint32_t shard = tag ? cluster_->router_.shard_of(*tag) : 0;
+  shard::ShardMux* mux = cluster_->muxes_.at(id_);
+  cluster_->runner_.post(id_, [mux, shard, tx = std::move(tx)]() mutable {
+    mux->submit(shard, std::move(tx));
+  });
+}
+
+ShardedCluster::ShardedCluster(std::uint32_t shards, std::uint64_t seed)
+    : runner_(runtime::LocalRunnerConfig{seed}), router_(shards) {}
+
+ShardedCluster::~ShardedCluster() { stop(); }
+
+ShardedNode ShardedCluster::node(NodeId id) {
+  if (id >= muxes_.size()) {
+    throw std::out_of_range("ShardedCluster::node: no replica with id " + std::to_string(id));
+  }
+  return ShardedNode(*this, id);
+}
+
+void ShardedCluster::on_commit(CommitCallback cb) {
+  if (runner_.running()) {
+    throw std::logic_error("ShardedCluster::on_commit: subscribe before start()");
+  }
+  hub_.callbacks.push_back(std::move(cb));
+}
+
+void ShardedCluster::start() { runner_.start(); }
+
+void ShardedCluster::stop() {
+  runner_.stop();
+  for (auto& per_node : durables_) {
+    for (auto& durable : per_node) durable->flush();
+  }
+}
+
+bool ShardedCluster::wait_for(const std::function<bool()>& pred, runtime::Duration timeout) {
+  return hub_.wait_for(pred, timeout);
+}
+
+multishot::MultishotNode& ShardedCluster::instance(NodeId id, std::uint32_t shard) {
+  if (runner_.running()) {
+    throw std::logic_error(
+        "ShardedCluster::instance: direct access while running races the replica "
+        "thread; stop() first or use node().submit()");
+  }
+  return muxes_.at(id)->instance(shard);
+}
+
+std::vector<multishot::MultishotNode*> ShardedCluster::shard_instances(std::uint32_t shard) {
+  if (runner_.running()) {
+    throw std::logic_error(
+        "ShardedCluster::shard_instances: direct access while running races the "
+        "replica threads; stop() first");
+  }
+  std::vector<multishot::MultishotNode*> out;
+  out.reserve(muxes_.size());
+  for (auto* mux : muxes_) out.push_back(&mux->instance(shard));
+  return out;
+}
+
+// ---- ShardedSimCluster -----------------------------------------------------
+
+bool ShardedSimCluster::run_until_all_finalized(Slot target, runtime::Duration deadline) {
+  return sim_->run_until_pred(
+      [this, target] {
+        for (auto* mux : muxes_) {
+          for (std::uint32_t k = 0; k < router_.shards(); ++k) {
+            if (mux->instance(k).finalized_count() < target) return false;
+          }
         }
         return true;
       },
@@ -186,6 +267,13 @@ ClusterBuilder& ClusterBuilder::nodes(std::uint32_t n) {
 }
 ClusterBuilder& ClusterBuilder::faults(std::uint32_t f) {
   f_ = f;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::shards(std::uint32_t s) {
+  if (s == 0 || s > 1024) {
+    throw std::invalid_argument("ClusterBuilder: shards must be in [1, 1024]");
+  }
+  shards_ = s;
   return *this;
 }
 ClusterBuilder& ClusterBuilder::seed(std::uint64_t seed) {
@@ -360,10 +448,8 @@ multishot::MultishotConfig ClusterBuilder::node_config() const {
   return cfg;
 }
 
-std::unique_ptr<storage::DurableChain> ClusterBuilder::attach_durable(
-    NodeId id, multishot::MultishotNode& replica) const {
-  const std::filesystem::path dir =
-      std::filesystem::path(data_dir_) / ("node-" + std::to_string(id));
+std::unique_ptr<storage::DurableChain> ClusterBuilder::attach_durable_at(
+    const std::string& dir, multishot::MultishotNode& replica) const {
   storage::DurableOptions opts;
   opts.segment_bytes = wal_segment_bytes_;
   opts.flush_every = wal_flush_every_;
@@ -377,7 +463,79 @@ std::unique_ptr<storage::DurableChain> ClusterBuilder::attach_durable(
   return durable;
 }
 
+std::unique_ptr<storage::DurableChain> ClusterBuilder::attach_durable(
+    NodeId id, multishot::MultishotNode& replica) const {
+  const std::filesystem::path dir =
+      std::filesystem::path(data_dir_) / ("node-" + std::to_string(id));
+  return attach_durable_at(dir.string(), replica);
+}
+
+std::vector<std::unique_ptr<multishot::MultishotNode>> ClusterBuilder::make_shard_instances(
+    NodeId id, const multishot::MultishotConfig& node_cfg,
+    std::vector<std::unique_ptr<storage::DurableChain>>& durables) const {
+  std::vector<std::unique_ptr<multishot::MultishotNode>> instances;
+  instances.reserve(shards_);
+  for (std::uint32_t k = 0; k < shards_; ++k) {
+    auto node = std::make_unique<multishot::MultishotNode>(node_cfg);
+    if (!data_dir_.empty()) {
+      const std::filesystem::path dir = std::filesystem::path(data_dir_) /
+                                        ("node-" + std::to_string(id)) /
+                                        ("shard-" + std::to_string(k));
+      durables.push_back(attach_durable_at(dir.string(), *node));
+    }
+    instances.push_back(std::move(node));
+  }
+  return instances;
+}
+
+void ClusterBuilder::require_unsharded(const char* builder) const {
+  if (shards_ > 1) {
+    throw std::logic_error(std::string("ClusterBuilder: ") + builder +
+                           " builds one chain; with shards(" + std::to_string(shards_) +
+                           ") use build_sharded_local()/build_sharded_sim()");
+  }
+}
+
+std::unique_ptr<ShardedCluster> ClusterBuilder::build_sharded_local() const {
+  const multishot::MultishotConfig node_cfg = node_config();
+  auto cluster = std::unique_ptr<ShardedCluster>(new ShardedCluster(shards_, seed_));
+  for (std::uint32_t i = 0; i < node_cfg.n; ++i) {
+    cluster->durables_.emplace_back();
+    auto mux = std::make_unique<shard::ShardMux>(
+        make_shard_instances(i, node_cfg, cluster->durables_.back()));
+    cluster->muxes_.push_back(mux.get());
+    cluster->runner_.add_node(std::move(mux));
+  }
+  cluster->runner_.add_commit_sink(cluster->hub_);
+  return cluster;
+}
+
+std::unique_ptr<ShardedSimCluster> ClusterBuilder::build_sharded_sim() const {
+  const multishot::MultishotConfig node_cfg = node_config();
+  auto cluster = std::unique_ptr<ShardedSimCluster>(new ShardedSimCluster(shards_));
+  sim::SimConfig sc;
+  sc.seed = seed_;
+  sc.net.delta_bound = delta_bound_;
+  sc.net.delta_actual = sim_delta_actual_;
+  sc.net.delta_min = sim_delta_actual_;
+  cluster->sim_ = std::make_unique<sim::Simulation>(sc);
+  for (std::uint32_t i = 0; i < node_cfg.n; ++i) {
+    cluster->durables_.emplace_back();
+    auto mux = std::make_unique<shard::ShardMux>(
+        make_shard_instances(i, node_cfg, cluster->durables_.back()));
+    shard::ShardMux* raw = mux.get();
+    cluster->muxes_.push_back(raw);
+    cluster->ports_.push_back(std::make_unique<shard::RoutedPort>(
+        cluster->router_, [raw](std::uint32_t shard, std::vector<std::uint8_t> tx) {
+          return raw->submit(shard, std::move(tx));
+        }));
+    cluster->sim_->add_node(std::move(mux));
+  }
+  return cluster;
+}
+
 std::unique_ptr<Cluster> ClusterBuilder::build_local() const {
+  require_unsharded("build_local()");
   auto cluster = std::unique_ptr<Cluster>(new Cluster(node_config(), seed_));
   if (!data_dir_.empty()) {
     for (NodeId i = 0; i < static_cast<NodeId>(cluster->replicas_.size()); ++i) {
@@ -416,6 +574,7 @@ runtime::SocketHostConfig ClusterBuilder::socket_host_config(
 }
 
 std::unique_ptr<SocketCluster> ClusterBuilder::build_socket() const {
+  require_unsharded("build_socket()");
   const multishot::MultishotConfig node_cfg = node_config();
   auto cluster = std::unique_ptr<SocketCluster>(new SocketCluster());
   for (std::uint32_t i = 0; i < node_cfg.n; ++i) {
@@ -442,6 +601,7 @@ std::unique_ptr<SocketCluster> ClusterBuilder::build_socket() const {
 
 std::unique_ptr<SocketNode> ClusterBuilder::build_socket_node(
     NodeId id, net::Endpoint listen) const {
+  require_unsharded("build_socket_node()");
   const multishot::MultishotConfig node_cfg = node_config();
   if (id >= node_cfg.n) {
     throw std::invalid_argument("ClusterBuilder: build_socket_node id " +
@@ -461,6 +621,7 @@ std::unique_ptr<SocketNode> ClusterBuilder::build_socket_node(
 }
 
 std::unique_ptr<SimCluster> ClusterBuilder::build_sim() const {
+  require_unsharded("build_sim()");
   const multishot::MultishotConfig node_cfg = node_config();
   auto cluster = std::unique_ptr<SimCluster>(new SimCluster());
   sim::SimConfig sc;

@@ -41,9 +41,12 @@
 #include "runtime/host.hpp"
 #include "runtime/local_runner.hpp"
 #include "runtime/socket_host.hpp"
+#include "shard/mux.hpp"
+#include "shard/router.hpp"
 #include "sim/runtime.hpp"
 #include "storage/durable_chain.hpp"
 #include "workload/generator.hpp"
+#include "workload/request.hpp"
 
 namespace tbft {
 
@@ -188,6 +191,156 @@ class SimCluster {
   std::vector<std::unique_ptr<workload::SubmitPort>> ports_;
 };
 
+class ShardedCluster;
+
+/// Non-owning handle to one replica of a ShardedCluster. submit() routes by
+/// the request's key: the tag's home shard (shard::ShardRouter) picks which
+/// of the replica's S chain instances admits it.
+class ShardedNode {
+ public:
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+  /// Submit a transaction through this replica's key router, onto the tag's
+  /// home-shard instance. Runs on the replica's thread; before
+  /// ShardedCluster::start() it applies immediately (initial-state seeding).
+  void submit(std::vector<std::uint8_t> tx);
+
+ private:
+  friend class ShardedCluster;
+  ShardedNode(ShardedCluster& cluster, NodeId id) : cluster_(&cluster), id_(id) {}
+
+  ShardedCluster* cluster_;
+  NodeId id_;
+};
+
+/// A real-time sharded cluster: n replica threads (runtime::LocalRunner),
+/// each running one shard::ShardMux of S independent TetraBFT chain
+/// instances over the shared transport. Commits surface on the composite
+/// stream `(shard << 48) | slot` (shard/router.hpp); submissions route by
+/// request key. Built by ClusterBuilder::shards(S) + build_sharded_local().
+class ShardedCluster {
+ public:
+  using CommitCallback = std::function<void(const runtime::Commit&)>;
+
+  ~ShardedCluster();  // stops the runner
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return runner_.node_count(); }
+  [[nodiscard]] std::uint32_t shards() const noexcept { return router_.shards(); }
+  [[nodiscard]] const shard::ShardRouter& router() const noexcept { return router_; }
+  [[nodiscard]] ShardedNode node(NodeId id);
+
+  /// Subscribe to every commit any instance of any replica publishes
+  /// (Commit::stream carries both coordinates; decompose with
+  /// shard::stream_shard / shard::stream_slot). Before start() only.
+  void on_commit(CommitCallback cb);
+
+  void start();
+  /// Stop all replica threads. Idempotent; afterwards instance() inspection
+  /// is safe from the caller's thread.
+  void stop();
+
+  /// Block until `pred()` holds or `timeout` elapses (re-checked on every
+  /// commit, under the cluster's commit lock).
+  bool wait_for(const std::function<bool()>& pred, runtime::Duration timeout);
+
+  /// Direct access to replica `id`'s instance of `shard`: only safe while
+  /// the cluster is not running (chain inspection, test assertions).
+  [[nodiscard]] multishot::MultishotNode& instance(NodeId id, std::uint32_t shard);
+  /// Every replica's instance of `shard` (for chains_prefix_consistent).
+  /// Same not-running rule as instance().
+  [[nodiscard]] std::vector<multishot::MultishotNode*> shard_instances(std::uint32_t shard);
+
+  [[nodiscard]] runtime::LocalRunner& runner() noexcept { return runner_; }
+
+  /// The durability driver of replica `id`'s instance of `shard`, or
+  /// nullptr when built without ClusterBuilder::data_dir.
+  [[nodiscard]] storage::DurableChain* durable(NodeId id, std::uint32_t shard) {
+    return id < durables_.size() && shard < durables_[id].size()
+               ? durables_[id][shard].get()
+               : nullptr;
+  }
+
+ private:
+  friend class ClusterBuilder;
+  friend class ShardedNode;
+  ShardedCluster(std::uint32_t shards, std::uint64_t seed);
+
+  runtime::LocalRunner runner_;
+  shard::ShardRouter router_;
+  std::vector<shard::ShardMux*> muxes_;
+  std::vector<std::vector<std::unique_ptr<storage::DurableChain>>> durables_;  // [node][shard]
+  detail::CommitHub hub_;
+};
+
+/// The deterministic sharded cluster (sim::Simulation backend): same mux
+/// topology as ShardedCluster, same key routing, virtual time. port(id)
+/// exposes each replica as a routing workload::SubmitPort, so the load
+/// generators drive a sharded cluster exactly as they drive a single chain
+/// -- client retries walk replicas while a tag's home shard stays fixed.
+class ShardedSimCluster {
+ public:
+  [[nodiscard]] sim::Simulation& simulation() noexcept { return *sim_; }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(muxes_.size());
+  }
+  [[nodiscard]] std::uint32_t shards() const noexcept { return router_.shards(); }
+  [[nodiscard]] const shard::ShardRouter& router() const noexcept { return router_; }
+
+  [[nodiscard]] multishot::MultishotNode& instance(NodeId id, std::uint32_t shard) {
+    return muxes_.at(id)->instance(shard);
+  }
+  /// Every replica's instance of `shard` (for chains_prefix_consistent and
+  /// tracker observation).
+  [[nodiscard]] std::vector<multishot::MultishotNode*> shard_instances(std::uint32_t shard) {
+    std::vector<multishot::MultishotNode*> out;
+    out.reserve(muxes_.size());
+    for (auto* mux : muxes_) out.push_back(&mux->instance(shard));
+    return out;
+  }
+
+  /// Submit a transaction at replica `id`; the tag's home shard admits it.
+  bool submit(NodeId id, std::vector<std::uint8_t> tx) {
+    const auto tag = workload::parse_request_tag(tx);
+    const std::uint32_t shard = tag ? router_.shard_of(*tag) : 0;
+    return muxes_.at(id)->submit(shard, std::move(tx));
+  }
+
+  /// The key-routing workload::SubmitPort view of replica `id`.
+  [[nodiscard]] workload::SubmitPort& port(NodeId id) { return *ports_.at(id); }
+
+  /// Attach a client actor. Always legal: the builder added every protocol
+  /// node (mux) already.
+  NodeId add_client(std::unique_ptr<runtime::ProtocolNode> client) {
+    return sim_->add_client(std::move(client));
+  }
+
+  void start() { sim_->start(); }
+
+  /// Run until every instance of every shard finalized >= `target` slots.
+  bool run_until_all_finalized(Slot target, runtime::Duration deadline);
+
+  /// The durability driver of replica `id`'s instance of `shard`, or
+  /// nullptr when built without ClusterBuilder::data_dir.
+  [[nodiscard]] storage::DurableChain* durable(NodeId id, std::uint32_t shard) {
+    return id < durables_.size() && shard < durables_[id].size()
+               ? durables_[id][shard].get()
+               : nullptr;
+  }
+
+ private:
+  friend class ClusterBuilder;
+  explicit ShardedSimCluster(std::uint32_t shards) : router_(shards) {}
+
+  std::unique_ptr<sim::Simulation> sim_;
+  shard::ShardRouter router_;
+  std::vector<shard::ShardMux*> muxes_;
+  std::vector<std::unique_ptr<workload::SubmitPort>> ports_;
+  std::vector<std::vector<std::unique_ptr<storage::DurableChain>>> durables_;  // [node][shard]
+};
+
 /// An in-process TetraBFT cluster whose nodes talk TCP over loopback: n
 /// runtime::SocketHost instances, each with its own node + IO thread pair,
 /// wired together on ephemeral ports at build time (race-free under CI --
@@ -312,6 +465,11 @@ class ClusterBuilder {
   /// Explicit fault budget (0 is legal: no tolerated faults, quorum = n);
   /// must keep n > 3f.
   ClusterBuilder& faults(std::uint32_t f);
+  /// Shard count S: every replica runs S independent chain instances over
+  /// the shared transport (shard::ShardMux), with requests key-routed to
+  /// their home shard. 1 (the default) builds the classic single-chain
+  /// backends; S > 1 requires the sharded builders. Must be in [1, 1024].
+  ClusterBuilder& shards(std::uint32_t s);
   ClusterBuilder& seed(std::uint64_t seed);
   /// Known message-delay bound Delta (drives the 9*Delta view timers).
   ClusterBuilder& delta_bound(runtime::Duration delta);
@@ -383,6 +541,11 @@ class ClusterBuilder {
 
   [[nodiscard]] std::unique_ptr<Cluster> build_local() const;
   [[nodiscard]] std::unique_ptr<SimCluster> build_sim() const;
+  /// The sharded real-time cluster: n replica threads x S chain instances.
+  /// Legal at any shards() value (S = 1 is one mux-wrapped chain).
+  [[nodiscard]] std::unique_ptr<ShardedCluster> build_sharded_local() const;
+  /// The sharded deterministic cluster (sim::Simulation backend).
+  [[nodiscard]] std::unique_ptr<ShardedSimCluster> build_sharded_sim() const;
   /// An in-process loopback-TCP cluster: n SocketHosts on ephemeral ports,
   /// fully wired and ready to start().
   [[nodiscard]] std::unique_ptr<SocketCluster> build_socket() const;
@@ -396,6 +559,7 @@ class ClusterBuilder {
  private:
   std::uint32_t n_{4};
   std::optional<std::uint32_t> f_;  // unset = derive (n-1)/3
+  std::uint32_t shards_{1};
   std::uint64_t seed_{1};
   runtime::Duration delta_bound_{50 * runtime::kMillisecond};
   runtime::Duration sim_delta_actual_{1 * runtime::kMillisecond};
@@ -430,6 +594,16 @@ class ClusterBuilder {
   /// state into `replica`, and attach the write path.
   std::unique_ptr<storage::DurableChain> attach_durable(
       NodeId id, multishot::MultishotNode& replica) const;
+  /// Same, rooted at an explicit directory (sharded layouts use
+  /// `<data_dir>/node-<id>/shard-<k>`).
+  std::unique_ptr<storage::DurableChain> attach_durable_at(
+      const std::string& dir, multishot::MultishotNode& replica) const;
+  /// One replica's S chain instances, durables attached (sharded builders).
+  std::vector<std::unique_ptr<multishot::MultishotNode>> make_shard_instances(
+      NodeId id, const multishot::MultishotConfig& node_cfg,
+      std::vector<std::unique_ptr<storage::DurableChain>>& durables) const;
+  /// Throws when shards() > 1 (the single-chain builders are per-shard).
+  void require_unsharded(const char* builder) const;
 };
 
 }  // namespace tbft

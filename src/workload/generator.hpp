@@ -84,7 +84,7 @@ struct ClosedLoopConfig {
 /// selection, tracker accounting, and the client-side retry book.
 class LoadClient : public runtime::ProtocolNode {
  public:
-  LoadClient(ClientConfig cfg, std::vector<SubmitPort*> targets, WorkloadTracker& tracker);
+  LoadClient(ClientConfig cfg, std::vector<SubmitPort*> targets, TrackerSink& tracker);
 
   void on_message(NodeId, const Payload&) override {}
   /// Intercepts the retry timer; everything else goes to on_client_timer.
@@ -108,7 +108,7 @@ class LoadClient : public runtime::ProtocolNode {
   }
 
   ClientConfig cfg_;
-  WorkloadTracker& tracker_;
+  TrackerSink& tracker_;
 
  private:
   struct PendingRetry {
@@ -133,7 +133,7 @@ class LoadClient : public runtime::ProtocolNode {
 class OpenLoopClient final : public LoadClient {
  public:
   OpenLoopClient(OpenLoopConfig cfg, std::vector<SubmitPort*> targets,
-                 WorkloadTracker& tracker);
+                 TrackerSink& tracker);
 
   void on_start() override;
 
@@ -150,7 +150,7 @@ class OpenLoopClient final : public LoadClient {
 class ClosedLoopClient final : public LoadClient {
  public:
   ClosedLoopClient(ClosedLoopConfig cfg, std::vector<SubmitPort*> targets,
-                   WorkloadTracker& tracker);
+                   TrackerSink& tracker);
 
   void on_start() override;
 

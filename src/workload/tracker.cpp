@@ -20,8 +20,7 @@ void WorkloadReport::print(const char* title) const {
 }
 
 void WorkloadTracker::observe(multishot::MultishotNode& node) {
-  const std::size_t observer = observers_++;
-  seen_.emplace_back();
+  const std::size_t observer = add_observer();
   node.set_commit_hook([this, observer](const multishot::Block& b, runtime::Time at) {
     on_finalized(observer, b, at);
   });

@@ -62,7 +62,20 @@ struct WorkloadReport {
   void print(const char* title) const;
 };
 
-class WorkloadTracker {
+/// The accounting surface generators talk to. One chain has one
+/// WorkloadTracker behind it; a sharded cluster has a shard::ShardedTracker
+/// that routes each tag to its home shard's tracker and keeps the
+/// cross-shard exactly-once ledger. Generators cannot tell the difference.
+class TrackerSink {
+ public:
+  virtual ~TrackerSink() = default;
+  virtual void on_submitted(std::uint64_t tag, runtime::Time at, bool admitted) = 0;
+  virtual void on_retry(std::uint64_t tag, runtime::Time at, bool admitted) = 0;
+  virtual void set_completion_listener(std::uint32_t client,
+                                       std::function<void(std::uint64_t)> listener) = 0;
+};
+
+class WorkloadTracker final : public TrackerSink {
  public:
   explicit WorkloadTracker(MetricsRegistry& metrics) : metrics_(metrics) {}
 
@@ -70,19 +83,33 @@ class WorkloadTracker {
   /// so per-chain double-commits are caught wherever they surface.
   void observe(multishot::MultishotNode& node);
 
+  /// Observer registration without installing a hook: callers that need to
+  /// wrap the commit hook themselves (shard::ShardedTracker chains a
+  /// cross-shard ledger in front) allocate a slot here and feed finalized
+  /// blocks through on_finalized with it.
+  std::size_t add_observer() {
+    seen_.emplace_back();
+    return observers_++;
+  }
+
+  /// Account one finalized block as seen by `observer` (a slot from
+  /// add_observer / observe). Public for hook-wrapping callers; ordinary
+  /// users go through observe().
+  void on_finalized(std::size_t observer, const multishot::Block& b, runtime::Time at);
+
   /// Generators report every submission attempt here.
-  void on_submitted(std::uint64_t tag, runtime::Time at, bool admitted);
+  void on_submitted(std::uint64_t tag, runtime::Time at, bool admitted) override;
 
   /// Generators report client-side re-submissions of an existing tag here.
   /// Absorbed into the exactly-once books: an already-admitted tag keeps
   /// its original submit time (latency is end-to-end from first admission);
   /// a retry that admits a previously rejected tag becomes its admission.
-  void on_retry(std::uint64_t tag, runtime::Time at, bool admitted);
+  void on_retry(std::uint64_t tag, runtime::Time at, bool admitted) override;
 
   /// `listener(tag)` fires once per committed request of `client`
   /// (closed-loop replenishment).
   void set_completion_listener(std::uint32_t client,
-                               std::function<void(std::uint64_t)> listener) {
+                               std::function<void(std::uint64_t)> listener) override {
     listeners_[client] = std::move(listener);
   }
 
@@ -107,8 +134,6 @@ class WorkloadTracker {
   [[nodiscard]] WorkloadReport report(runtime::Time elapsed) const;
 
  private:
-  void on_finalized(std::size_t observer, const multishot::Block& b, runtime::Time at);
-
   MetricsRegistry& metrics_;
   std::size_t observers_{0};
   std::map<std::uint64_t, runtime::Time> submit_time_;  // admitted requests

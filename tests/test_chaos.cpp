@@ -49,19 +49,51 @@ TEST(ChaosScenario, DrawPlanIsPure) {
 TEST(ChaosScenario, SeedsCoverTheScheduleSpace) {
   std::set<WanShape> wans;
   std::set<LoadShape> loads;
+  std::set<std::uint32_t> shard_counts;
   bool saw_byz = false;
   bool saw_churn = false;
   for (std::uint64_t seed = 1; seed <= 64; ++seed) {
     const ScenarioPlan p = draw_plan(seed);
     wans.insert(p.wan);
     loads.insert(p.load);
+    shard_counts.insert(p.shards);
     saw_byz = saw_byz || p.byzantine_count() > 0;
     saw_churn = saw_churn || !p.churn.empty();
   }
   EXPECT_EQ(wans.size(), 4u);
   EXPECT_EQ(loads.size(), 3u);
+  EXPECT_EQ(shard_counts, (std::set<std::uint32_t>{1, 2, 4}));
   EXPECT_TRUE(saw_byz);
   EXPECT_TRUE(saw_churn);
+}
+
+TEST(ChaosScenario, HistoricalSeedsDrawByteIdenticalPlans) {
+  // The reproducer contract across PRs: draws are only ever APPENDED to the
+  // seed stream, so every historical seed keeps its schedule byte-for-byte
+  // (the shards draw of this PR, like the depth/adaptive draws before it,
+  // only extends the describe() line). If one of these strings changes, a
+  // draw was inserted mid-stream and every logged `fuzz_driver --seed=N`
+  // reproducer silently replays a different scenario.
+  const std::pair<std::uint64_t, const char*> pins[] = {
+      {1,
+       "seed=1 n=4 f=1 wan=wan delta=123ms load=closed clients=1 dur=2221ms "
+       "byz=[3:slow-loris] churn=0 depth=1 adaptive=0 shards=1"},
+      {7,
+       "seed=7 n=6 f=1 wan=wan delta=109ms load=open clients=1 dur=1964ms "
+       "byz=[3:silent] churn=0 depth=1 adaptive=0 shards=2"},
+      {42,
+       "seed=42 n=6 f=1 wan=geo delta=138ms load=closed clients=1 dur=2498ms "
+       "byz=[none] churn=1 depth=7 adaptive=76 shards=1"},
+      {137,
+       "seed=137 n=4 f=1 wan=lan delta=9ms load=open clients=2 dur=338ms "
+       "byz=[3:equivocator] churn=0 depth=4 adaptive=459 shards=4"},
+      {200,
+       "seed=200 n=5 f=1 wan=lan delta=7ms load=open clients=2 dur=256ms "
+       "byz=[0:slow-loris] churn=0 depth=1 adaptive=0 shards=1"},
+  };
+  for (const auto& [seed, expected] : pins) {
+    EXPECT_EQ(draw_plan(seed).describe(), expected) << "seed " << seed;
+  }
 }
 
 TEST(ChaosScenario, FaultBudgetHoldsOnEveryDraw) {

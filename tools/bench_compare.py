@@ -70,6 +70,13 @@ SPECS = {
     },
     # bench_socket: real-time TCP throughput/latency; nothing stable to gate.
     "socket": {"config": [], "metrics": {}},
+    # bench_sharding: wall-clock scaling sweep; the >= 6x S=8/S=1 floor and
+    # the exactly-once gates live in the binary's exit code, not here.
+    "sharding": {
+        "config": ["n", "seed", "rate_per_shard", "window_ms", "tx_bytes",
+                   "batch_txs", "batch_bytes"],
+        "metrics": {},
+    },
 }
 
 
@@ -137,7 +144,12 @@ def main():
         name = bench_name(path)
         tracked_path = os.path.join(args.tracked, os.path.basename(path))
         if not os.path.exists(tracked_path):
-            print(f"{name}: no tracked copy, skipped")
+            # First run of a new bench: nothing to diff against yet. Skip
+            # cleanly (exit 0) -- committing the fresh JSON at the repo root
+            # starts the trajectory.
+            print(f"{name}: first run, no tracked baseline at "
+                  f"{tracked_path} -- skipped (commit the fresh JSON to "
+                  f"start tracking)")
             continue
         with open(tracked_path) as f:
             tracked = json.load(f)
